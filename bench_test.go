@@ -1,0 +1,147 @@
+package rpivideo_test
+
+import (
+	"testing"
+
+	"rpivideo/internal/experiments"
+)
+
+// Each benchmark regenerates one table or figure of the paper's evaluation
+// (see DESIGN.md §3 for the experiment index) on the deterministic
+// simulator. Campaigns are memoized across experiments exactly as in
+// cmd/rpbench, so the first benchmark touching a campaign set pays its full
+// regeneration cost and later ones reuse it (their ns/op reflects the
+// incremental cost; call experiments.ResetCache for cold-start numbers).
+// Shape checks against the paper's claims are reported as the
+// `shape-fails` metric (asserted strictly, with more repetitions, by
+// TestAllExperimentsSatisfyShapeChecks in internal/experiments).
+func benchReport(b *testing.B, run func(experiments.Options) *experiments.Report) {
+	b.Helper()
+	b.ReportAllocs()
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = run(experiments.Options{Runs: 1, Seed: 1})
+	}
+	failed := rep.FailedChecks()
+	for _, f := range failed {
+		b.Logf("shape check failed (single-seed run): %s", f)
+	}
+	b.ReportMetric(float64(len(failed)), "shape-fails")
+}
+
+// BenchmarkFig4aHandoverFrequency regenerates Fig. 4(a): handover frequency
+// in the air vs on the ground, urban vs rural.
+func BenchmarkFig4aHandoverFrequency(b *testing.B) {
+	benchReport(b, experiments.Fig4aHandoverFrequency)
+}
+
+// BenchmarkFig4bHandoverExecutionTime regenerates Fig. 4(b): HET
+// distributions with the 3GPP 49.5 ms threshold and the aerial outliers.
+func BenchmarkFig4bHandoverExecutionTime(b *testing.B) {
+	benchReport(b, experiments.Fig4bHandoverExecutionTime)
+}
+
+// BenchmarkFig5OneWayLatencyCDF regenerates Fig. 5: one-way latency CDFs on
+// the ground and in the air.
+func BenchmarkFig5OneWayLatencyCDF(b *testing.B) {
+	benchReport(b, experiments.Fig5OneWayLatency)
+}
+
+// BenchmarkFig6Goodput regenerates Fig. 6: goodput of static/GCC/SCReAM in
+// both environments.
+func BenchmarkFig6Goodput(b *testing.B) {
+	benchReport(b, experiments.Fig6Goodput)
+}
+
+// BenchmarkFig7aFPS regenerates Fig. 7(a): the FPS distributions.
+func BenchmarkFig7aFPS(b *testing.B) {
+	benchReport(b, experiments.Fig7aFPS)
+}
+
+// BenchmarkFig7bSSIM regenerates Fig. 7(b): the SSIM distributions.
+func BenchmarkFig7bSSIM(b *testing.B) {
+	benchReport(b, experiments.Fig7bSSIM)
+}
+
+// BenchmarkFig7cPlaybackLatency regenerates Fig. 7(c): the playback latency
+// CDFs with the 300 ms RP threshold.
+func BenchmarkFig7cPlaybackLatency(b *testing.B) {
+	benchReport(b, experiments.Fig7cPlaybackLatency)
+}
+
+// BenchmarkFig8HandoverTimeline regenerates Fig. 8: a single flight's
+// latency/handover timeline.
+func BenchmarkFig8HandoverTimeline(b *testing.B) {
+	benchReport(b, experiments.Fig8HandoverTimeline)
+}
+
+// BenchmarkFig9LatencyRatio regenerates Fig. 9: max/min latency ratios in
+// the windows before and after handovers.
+func BenchmarkFig9LatencyRatio(b *testing.B) {
+	benchReport(b, experiments.Fig9LatencyRatio)
+}
+
+// BenchmarkFig10OperatorCapacity regenerates Fig. 10: P1 vs P2 rural
+// throughput and handover frequency.
+func BenchmarkFig10OperatorCapacity(b *testing.B) {
+	benchReport(b, experiments.Fig10OperatorCapacity)
+}
+
+// BenchmarkStallRates regenerates the §4.2.1 stall-rate table.
+func BenchmarkStallRates(b *testing.B) {
+	benchReport(b, experiments.TableStallRates)
+}
+
+// BenchmarkRampUp regenerates the §4.2.1 ramp-up comparison (GCC ≈12 s,
+// SCReAM ≈25 s to 25 Mbps).
+func BenchmarkRampUp(b *testing.B) {
+	benchReport(b, experiments.TableRampUp)
+}
+
+// BenchmarkFig12OperatorVideo regenerates Fig. 12 (Appendix A.3): video
+// performance per operator in the rural environment.
+func BenchmarkFig12OperatorVideo(b *testing.B) {
+	benchReport(b, experiments.Fig12OperatorVideo)
+}
+
+// BenchmarkFig13RTTbyAltitude regenerates Fig. 13: probe RTT by altitude
+// bucket without cross traffic.
+func BenchmarkFig13RTTbyAltitude(b *testing.B) {
+	benchReport(b, experiments.Fig13RTTByAltitude)
+}
+
+// BenchmarkScreamAckWindow regenerates the §4.2.1 ablation: the RFC 8888
+// ack-window defect (64 vs 256 packets).
+func BenchmarkScreamAckWindow(b *testing.B) {
+	benchReport(b, experiments.AblationScreamAckWindow)
+}
+
+// BenchmarkJitterBufferAblation regenerates the §4.2/A.4 ablation: jitter
+// buffer sizing and drop-on-latency.
+func BenchmarkJitterBufferAblation(b *testing.B) {
+	benchReport(b, experiments.AblationJitterBuffer)
+}
+
+// BenchmarkEstimatorAblation compares GCC's Kalman and trendline delay
+// estimators in the urban cell.
+func BenchmarkEstimatorAblation(b *testing.B) {
+	benchReport(b, experiments.AblationEstimator)
+}
+
+// BenchmarkExtDAPS evaluates the §5 DAPS make-before-break handover
+// extension against the break-before-make baseline.
+func BenchmarkExtDAPS(b *testing.B) {
+	benchReport(b, experiments.ExtDAPS)
+}
+
+// BenchmarkExtAQM evaluates the §5 bufferbloat mitigation (CoDel on the
+// bottleneck buffer).
+func BenchmarkExtAQM(b *testing.B) {
+	benchReport(b, experiments.ExtAQM)
+}
+
+// BenchmarkExtMultipath evaluates the §5 multipath-duplication extension
+// over both operators.
+func BenchmarkExtMultipath(b *testing.B) {
+	benchReport(b, experiments.ExtMultipath)
+}

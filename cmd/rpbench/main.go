@@ -1,0 +1,88 @@
+// Command rpbench regenerates the tables and figures of the paper's
+// evaluation from the simulation pipeline and prints the series the paper
+// plots, together with shape checks against the published claims.
+//
+// Usage:
+//
+//	rpbench                  # run every experiment (≈10 min at -runs 3)
+//	rpbench -fig fig6        # one experiment
+//	rpbench -runs 5 -seed 7  # more repetitions, different base seed
+//	rpbench -list            # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rpivideo/internal/experiments"
+)
+
+var registry = []struct {
+	id   string
+	desc string
+	run  func(experiments.Options) *experiments.Report
+}{
+	{"fig4a", "handover frequency air vs ground", experiments.Fig4aHandoverFrequency},
+	{"fig4b", "handover execution time", experiments.Fig4bHandoverExecutionTime},
+	{"fig5", "one-way latency CDFs", experiments.Fig5OneWayLatency},
+	{"fig6", "goodput per delivery method", experiments.Fig6Goodput},
+	{"fig7a", "FPS CDFs", experiments.Fig7aFPS},
+	{"fig7b", "SSIM CDFs", experiments.Fig7bSSIM},
+	{"fig7c", "playback latency CDFs", experiments.Fig7cPlaybackLatency},
+	{"fig8", "handover timeline (single flight)", experiments.Fig8HandoverTimeline},
+	{"fig9", "latency ratio around handovers", experiments.Fig9LatencyRatio},
+	{"fig10", "operator capacity comparison", experiments.Fig10OperatorCapacity},
+	{"tbl-stall", "stall rates", experiments.TableStallRates},
+	{"tbl-rampup", "CC ramp-up times", experiments.TableRampUp},
+	{"fig12", "operator video comparison", experiments.Fig12OperatorVideo},
+	{"fig13", "RTT by altitude", experiments.Fig13RTTByAltitude},
+	{"abl-ack", "SCReAM ack-window ablation", experiments.AblationScreamAckWindow},
+	{"abl-jb", "jitter buffer ablation", experiments.AblationJitterBuffer},
+	{"abl-est", "GCC estimator ablation (Kalman vs trendline)", experiments.AblationEstimator},
+	{"ext-daps", "DAPS make-before-break handover (§5)", experiments.ExtDAPS},
+	{"ext-aqm", "CoDel AQM on the bottleneck (§5)", experiments.ExtAQM},
+	{"ext-mpath", "multipath duplication (§5)", experiments.ExtMultipath},
+}
+
+func main() {
+	fig := flag.String("fig", "all", "experiment ID to run, or 'all'")
+	runs := flag.Int("runs", 3, "seeded repetitions per configuration")
+	seed := flag.Int64("seed", 1, "base seed")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-10s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	o := experiments.Options{Runs: *runs, Seed: *seed}
+	failed := 0
+	ran := 0
+	for _, e := range registry {
+		if *fig != "all" && *fig != e.id {
+			continue
+		}
+		ran++
+		rep := e.run(o)
+		if _, err := rep.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rpbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if !rep.OK() {
+			failed++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "rpbench: unknown experiment %q (use -list)\n", *fig)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "rpbench: %d experiment(s) failed shape checks\n", failed)
+		os.Exit(1)
+	}
+}

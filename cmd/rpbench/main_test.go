@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRegistryConsistent(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range registry {
+		if e.id == "" || e.desc == "" || e.run == nil {
+			t.Errorf("incomplete registry entry %+v", e.id)
+		}
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+	}
+	// Every experiment in the package's All() set must be reachable from
+	// the CLI: the counts must agree.
+	const wantExperiments = 20 // 14 figures/tables + 3 ablations + 3 extensions
+	if len(registry) != wantExperiments {
+		t.Errorf("registry has %d experiments, want %d", len(registry), wantExperiments)
+	}
+}

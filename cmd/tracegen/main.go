@@ -1,0 +1,84 @@
+// Command tracegen emits a synthetic flight trace in the repository's
+// JSON-lines format — the open-data workflow of the paper (§3.2): each line
+// is one packet, drop, handover, rate or stall event.
+//
+// Usage:
+//
+//	tracegen -env urban -cc gcc -seed 3 > flight.jsonl
+//	tracegen -env rural -cc scream -op P2 -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rpivideo/internal/cell"
+	"rpivideo/internal/core"
+	"rpivideo/internal/trace"
+)
+
+func main() {
+	env := flag.String("env", "urban", "environment: urban or rural")
+	op := flag.String("op", "P1", "operator: P1 or P2")
+	ccName := flag.String("cc", "gcc", "rate control: static, gcc or scream")
+	seed := flag.Int64("seed", 1, "seed")
+	ground := flag.Bool("ground", false, "ground (motorbike) run instead of a flight")
+	summary := flag.Bool("summary", false, "print a summary instead of the trace")
+	asCSV := flag.Bool("csv", false, "emit CSV instead of JSON lines")
+	flag.Parse()
+
+	cfg := core.Config{Air: !*ground, Seed: *seed, KeepSeries: true}
+	switch *env {
+	case "urban":
+		cfg.Env = cell.Urban
+	case "rural":
+		cfg.Env = cell.Rural
+	default:
+		fatalf("unknown environment %q", *env)
+	}
+	switch *op {
+	case "P1":
+		cfg.Op = cell.P1
+	case "P2":
+		cfg.Op = cell.P2
+	default:
+		fatalf("unknown operator %q", *op)
+	}
+	switch *ccName {
+	case "static":
+		cfg.CC = core.CCStatic
+	case "gcc":
+		cfg.CC = core.CCGCC
+	case "scream":
+		cfg.CC = core.CCSCReAM
+	default:
+		fatalf("unknown rate control %q", *ccName)
+	}
+
+	recs := trace.FromResult(core.Run(cfg))
+	if *summary {
+		s := trace.Summarize(recs)
+		fmt.Printf("%s: %v, %d packets (mean OWD %v), %d drops, %d handovers (max HET %v), %d stalls, %.1f Mbps\n",
+			s.Label, s.Duration, s.Packets, s.MeanOWD, s.Drops, s.Handovers, s.MaxHET, s.Stalls, s.MeanGoodputMbps)
+		return
+	}
+	if *asCSV {
+		if err := trace.WriteCSV(os.Stdout, recs); err != nil {
+			fatalf("write csv: %v", err)
+		}
+		return
+	}
+	w := trace.NewWriter(os.Stdout)
+	if err := w.WriteAll(recs); err != nil {
+		fatalf("write: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		fatalf("flush: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

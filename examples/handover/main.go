@@ -1,0 +1,72 @@
+// Handover anatomy (Fig. 8/9): one rural GCC flight's latency timeline with
+// handover markers, and the max/min latency ratios in the windows around
+// each handover.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"rpivideo"
+	"rpivideo/internal/metrics"
+)
+
+func main() {
+	r := rpivideo.Run(rpivideo.Config{
+		Env:        rpivideo.Rural,
+		Air:        true,
+		CC:         rpivideo.GCC,
+		Seed:       4,
+		KeepSeries: true,
+	})
+
+	fmt.Printf("rural GCC flight: %d handovers over %v\n\n", len(r.Handovers), r.Duration)
+
+	// ASCII timeline: one row per 5 s, bar length ∝ p95 OWD.
+	const bin = 5 * time.Second
+	for lo := time.Duration(0); lo < r.Duration; lo += bin {
+		pts := r.OWDSeries.Window(lo, lo+bin)
+		if len(pts) == 0 {
+			continue
+		}
+		var d metrics.Dist
+		for _, p := range pts {
+			d.Add(p.V)
+		}
+		p95 := d.Quantile(0.95)
+		bar := int(p95 / 20)
+		if bar > 40 {
+			bar = 40
+		}
+		marker := ""
+		for _, ev := range r.Handovers {
+			if ev.At >= lo && ev.At < lo+bin {
+				marker += fmt.Sprintf("  HO(%d→%d, %v)", ev.From, ev.To, ev.HET.Round(time.Millisecond))
+			}
+		}
+		fmt.Printf("t=%3ds |%-40s| p95=%4.0fms%s\n", int(lo/time.Second), bars(bar), p95, marker)
+	}
+
+	// The Fig. 9 statistic.
+	var before, after metrics.Dist
+	for _, ev := range r.Handovers {
+		if b, ok := r.OWDSeries.WindowMaxMinRatio(ev.At-time.Second, ev.At); ok {
+			before.Add(b)
+		}
+		end := ev.At + ev.HET
+		if a, ok := r.OWDSeries.WindowMaxMinRatio(end, end+time.Second); ok {
+			after.Add(a)
+		}
+	}
+	fmt.Printf("\nmax/min latency ratio before handovers: mean %.1f× max %.0f× (paper: ≈8×, up to 37×)\n",
+		before.Mean(), before.Max())
+	fmt.Printf("max/min latency ratio after handovers:  mean %.1f× (paper: ≈5×)\n", after.Mean())
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

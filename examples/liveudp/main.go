@@ -1,0 +1,200 @@
+// Live UDP demo: an in-process sender/receiver pair streaming the synthetic
+// video over a real loopback socket, using the same RTP wire formats,
+// packetizer, encoder model and GCC controller as the simulated campaigns.
+// This is the single-binary version of cmd/rpsend + cmd/rprecv.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"rpivideo/internal/cc"
+	"rpivideo/internal/gcc"
+	"rpivideo/internal/rtp"
+	"rpivideo/internal/video"
+)
+
+const streamFor = 10 * time.Second
+
+func main() {
+	raddr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	recvConn, err := net.ListenUDP("udp", raddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer recvConn.Close()
+
+	sendConn, err := net.Dial("udp", recvConn.LocalAddr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sendConn.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); receiver(recvConn) }()
+	go func() { defer wg.Done(); sender(sendConn) }()
+	wg.Wait()
+}
+
+// receiver reassembles frames and returns TWCC feedback.
+func receiver(conn *net.UDPConn) {
+	rec := rtp.NewTWCCRecorder(1, 0x1234)
+	depkt := rtp.NewDepacketizer()
+	var mu sync.Mutex
+	var peer *net.UDPAddr
+	frames, packets := 0, 0
+	start := time.Now()
+
+	stop := time.After(streamFor + time.Second)
+	go func() {
+		ticker := time.NewTicker(50 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				conn.Close()
+				return
+			case <-ticker.C:
+				mu.Lock()
+				fb := rec.Flush()
+				target := peer
+				mu.Unlock()
+				if fb == nil || target == nil {
+					continue
+				}
+				if buf, err := fb.Marshal(); err == nil {
+					_, _ = conn.WriteToUDP(buf, target)
+				}
+			}
+		}
+	}()
+
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			fmt.Printf("receiver: %d packets, %d complete frames in %v\n",
+				packets, frames, time.Since(start).Round(time.Second))
+			return
+		}
+		var p rtp.Packet
+		if err := p.Unmarshal(buf[:n]); err != nil {
+			continue
+		}
+		mu.Lock()
+		peer = from
+		packets++
+		if tseq, ok := p.Header.TransportSeq(); ok {
+			rec.Record(tseq, time.Since(start))
+		}
+		if fs, err := depkt.Push(&p, time.Since(start)); err == nil && fs.Complete() {
+			frames++
+			depkt.Delete(fs.Num)
+		}
+		mu.Unlock()
+	}
+}
+
+// sender encodes, packetizes and paces under GCC.
+func sender(conn net.Conn) {
+	ctrl := gcc.New(gcc.Config{})
+	enc := video.NewEncoder(video.DefaultEncoderConfig(), ctrl.TargetBitrate(0), rand.New(rand.NewSource(1)))
+	pk := rtp.NewPacketizer(0x1234, 96, 1200)
+	var (
+		mu    sync.Mutex
+		queue cc.SendQueue
+		pacer cc.Pacer
+		sent  = map[uint16]cc.SentPacket{}
+	)
+	start := time.Now()
+	now := func() time.Duration { return time.Since(start) }
+
+	// Feedback reader.
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return
+			}
+			var fb rtp.TWCC
+			if err := fb.Unmarshal(buf[:n]); err != nil {
+				continue
+			}
+			mu.Lock()
+			acks := make([]cc.Ack, 0, len(fb.Packets))
+			for i, p := range fb.Packets {
+				tseq := fb.BaseSeq + uint16(i)
+				a := cc.Ack{TransportSeq: tseq, Received: p.Received, ArrivalTime: p.At}
+				if rec, ok := sent[tseq]; ok {
+					a.Size, a.SendTime = rec.Size, rec.SendTime
+					delete(sent, tseq)
+				}
+				acks = append(acks, a)
+			}
+			ctrl.OnFeedback(now(), acks)
+			mu.Unlock()
+		}
+	}()
+
+	frameTick := time.NewTicker(time.Second / 30)
+	defer frameTick.Stop()
+	paceTick := time.NewTicker(time.Millisecond)
+	defer paceTick.Stop()
+	statTick := time.NewTicker(time.Second)
+	defer statTick.Stop()
+	deadline := time.After(streamFor)
+	for {
+		select {
+		case <-deadline:
+			fmt.Println("sender: done")
+			return
+		case <-frameTick.C:
+			mu.Lock()
+			enc.SetTarget(ctrl.TargetBitrate(now()))
+			f := enc.NextFrame(now())
+			for _, p := range pk.Packetize(rtp.FrameInfo{
+				Num: f.Num, EncodeTime: f.EncodeTime, Keyframe: f.Keyframe,
+				Size: f.Size, RTPTime: uint32(uint64(f.Num) * rtp.VideoClockRate / 30),
+			}) {
+				queue.Push(cc.Item{Data: p, Size: p.MarshalSize(), Enqueued: now()})
+			}
+			mu.Unlock()
+		case <-paceTick.C:
+			mu.Lock()
+			t := now()
+			for {
+				it, ok := queue.Peek()
+				if !ok || !pacer.Idle(t) {
+					break
+				}
+				queue.Pop()
+				pacer.Next(t, it.Size, ctrl.PacingRate(t))
+				p := it.Data.(*rtp.Packet)
+				wire, err := p.Marshal()
+				if err != nil {
+					continue
+				}
+				tseq, _ := p.Header.TransportSeq()
+				sent[tseq] = cc.SentPacket{TransportSeq: tseq, Size: it.Size, SendTime: t}
+				if _, err := conn.Write(wire); err != nil {
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Unlock()
+		case <-statTick.C:
+			mu.Lock()
+			fmt.Printf("sender: t=%2.0fs target %.1f Mbps\n", now().Seconds(), ctrl.TargetBitrate(now())/1e6)
+			mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Quickstart: run one urban remote-piloting flight with Google Congestion
+// Control and print the metrics the paper evaluates.
+package main
+
+import (
+	"fmt"
+
+	"rpivideo"
+)
+
+func main() {
+	r := rpivideo.Run(rpivideo.Config{
+		Env:  rpivideo.Urban,
+		Air:  true,
+		CC:   rpivideo.GCC,
+		Seed: 1,
+	})
+
+	fmt.Println("One urban flight with GCC:")
+	fmt.Printf("  flight duration      %v\n", r.Duration)
+	fmt.Printf("  goodput              %.1f Mbps (mean)\n", r.GoodputMean())
+	fmt.Printf("  one-way delay        p50 %.0f ms, p99 %.0f ms\n", r.OWDms.Median(), r.OWDms.Quantile(0.99))
+	fmt.Printf("  playback < 300 ms    %.0f%% of frames\n", 100*r.PlaybackMs.FracBelow(300))
+	fmt.Printf("  SSIM < 0.5           %.2f%% of frames\n", 100*r.SSIM.FracBelow(0.5))
+	fmt.Printf("  stalls               %.2f per minute\n", r.StallsPerMin)
+	fmt.Printf("  handovers            %d (%.2f per second)\n", len(r.Handovers), r.HandoverRate())
+	fmt.Printf("  packet error rate    %.4f%%\n", 100*r.PER)
+	if r.RampUpTo25 > 0 {
+		fmt.Printf("  ramped to 25 Mbps at %v\n", r.RampUpTo25)
+	}
+}

@@ -1,0 +1,3 @@
+module rpivideo
+
+go 1.22

@@ -1,0 +1,125 @@
+// Package cc defines the congestion-controller contract shared by the three
+// rate-control regimes the paper compares — GCC, SCReAM and static bitrate —
+// together with the sender-side machinery they plug into: the paced send
+// queue and per-packet bookkeeping.
+package cc
+
+import "time"
+
+// SentPacket describes one media packet entering the network.
+type SentPacket struct {
+	// TransportSeq is the transport-wide sequence number (GCC feedback key).
+	TransportSeq uint16
+	// Seq is the RTP sequence number (SCReAM feedback key).
+	Seq uint16
+	// Size is the wire size in bytes.
+	Size int
+	// SendTime is when the packet left the pacer, in sender time.
+	SendTime time.Duration
+}
+
+// Ack is one normalized feedback item: the fate of one previously sent
+// packet, as reported by the receiver. The transport layer matches feedback
+// to SentPackets and fills in both clocks.
+type Ack struct {
+	TransportSeq uint16
+	Seq          uint16
+	Size         int
+	// SendTime is the sender-clock departure time.
+	SendTime time.Duration
+	// Received reports whether the receiver saw the packet.
+	Received bool
+	// ArrivalTime is the receiver-clock arrival time (valid if Received).
+	ArrivalTime time.Duration
+}
+
+// Controller adapts the media bitrate to network conditions.
+//
+// TargetBitrate drives the encoder; PacingRate drives the pacer; CanSend
+// gates window-limited (self-clocked) controllers.
+type Controller interface {
+	// OnPacketSent informs the controller that a packet entered the network.
+	OnPacketSent(p SentPacket)
+	// OnFeedback delivers a feedback report. now is the sender-clock time
+	// the report arrived; acks are in transport sequence order.
+	OnFeedback(now time.Duration, acks []Ack)
+	// TargetBitrate returns the bitrate (bits/s) the encoder should aim for.
+	TargetBitrate(now time.Duration) float64
+	// PacingRate returns the rate (bits/s) at which queued packets should be
+	// clocked out.
+	PacingRate(now time.Duration) float64
+	// CanSend reports whether a packet of the given size may enter the
+	// network now. Rate-based controllers always return true;
+	// window-limited controllers enforce bytes-in-flight ≤ cwnd.
+	CanSend(now time.Duration, size int) bool
+	// Name identifies the controller in traces and experiment output.
+	Name() string
+}
+
+// Static is the paper's baseline: a constant bitrate chosen per environment
+// (25 Mbps urban, 8 Mbps rural) from trial runs.
+type Static struct {
+	// Rate is the constant target bitrate in bits/s.
+	Rate float64
+	// PacingFactor multiplies Rate for the pacer to absorb encoder
+	// burstiness; 1.0 if zero.
+	PacingFactor float64
+}
+
+// NewStatic returns a constant-bitrate controller.
+func NewStatic(bitsPerSecond float64) *Static {
+	return &Static{Rate: bitsPerSecond, PacingFactor: 1.5}
+}
+
+// OnPacketSent implements Controller.
+func (s *Static) OnPacketSent(SentPacket) {}
+
+// OnFeedback implements Controller.
+func (s *Static) OnFeedback(time.Duration, []Ack) {}
+
+// TargetBitrate implements Controller.
+func (s *Static) TargetBitrate(time.Duration) float64 { return s.Rate }
+
+// PacingRate implements Controller.
+func (s *Static) PacingRate(time.Duration) float64 {
+	f := s.PacingFactor
+	if f <= 0 {
+		f = 1
+	}
+	return s.Rate * f
+}
+
+// CanSend implements Controller.
+func (s *Static) CanSend(time.Duration, int) bool { return true }
+
+// Name implements Controller.
+func (s *Static) Name() string { return "static" }
+
+// Pacer spaces packet departures to a byte budget so the sender does not
+// burst whole frames into the access link.
+type Pacer struct {
+	// nextFree is the earliest time the link budget admits another packet.
+	nextFree time.Duration
+}
+
+// Next returns the departure time for a packet of size bytes when the
+// pacing rate is rate bits/s, and advances the pacer state. A non-positive
+// rate sends immediately.
+func (p *Pacer) Next(now time.Duration, size int, rate float64) time.Duration {
+	at := p.nextFree
+	if at < now {
+		at = now
+	}
+	if rate > 0 {
+		p.nextFree = at + time.Duration(float64(size*8)/rate*float64(time.Second))
+	} else {
+		p.nextFree = at
+	}
+	return at
+}
+
+// Idle reports whether the pacer budget is free at time now.
+func (p *Pacer) Idle(now time.Duration) bool { return p.nextFree <= now }
+
+// FreeAt returns when the pacer budget next becomes free.
+func (p *Pacer) FreeAt() time.Duration { return p.nextFree }

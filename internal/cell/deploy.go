@@ -1,0 +1,74 @@
+package cell
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Deployment returns the base-station layout for an environment/operator
+// pair. Positions are relative to the flight takeoff point at the origin.
+//
+// The layouts reproduce the campaign's structure (Fig. 3): the urban zone is
+// densely surrounded by sites (the paper connected to 32 cells there), the
+// rural zone has sparse coverage for P1 (18 cells, most of them far away)
+// and noticeably denser coverage for the competing operator P2
+// (Appendix A.3 attributes P2's higher rural bandwidth and handover
+// frequency to its deployment density).
+func Deployment(env Environment, op Operator, rng *rand.Rand) []BS {
+	switch {
+	case env == Urban:
+		// Both operators deploy similarly densely in the urban test area.
+		return jitteredGrid(rng, 32, 1500, 250, 30)
+	case op == P1:
+		// Sparse rural: sites 1.5–8 km out.
+		return ring(rng, 18, 1500, 8000, 35)
+	default:
+		// P2 rural: more sites, much closer.
+		return ring(rng, 30, 600, 4000, 35)
+	}
+}
+
+// jitteredGrid scatters n sites over a span×span box centred on the origin,
+// on a jittered grid with the given cell pitch jitter.
+func jitteredGrid(rng *rand.Rand, n int, span, jitter, height float64) []BS {
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	pitch := span / float64(cols)
+	bss := make([]BS, 0, n)
+	id := 0
+	for r := 0; r < cols && id < n; r++ {
+		for c := 0; c < cols && id < n; c++ {
+			x := -span/2 + (float64(c)+0.5)*pitch + (rng.Float64()-0.5)*jitter
+			y := -span/2 + (float64(r)+0.5)*pitch + (rng.Float64()-0.5)*jitter
+			bss = append(bss, BS{ID: id, X: x, Y: y, Height: height})
+			id++
+		}
+	}
+	return bss
+}
+
+// ring places n sites at uniformly random bearings with distances between
+// minR and maxR from the origin, biased toward the far edge (sparse rural
+// coverage).
+func ring(rng *rand.Rand, n int, minR, maxR, height float64) []BS {
+	bss := make([]BS, 0, n)
+	for i := 0; i < n; i++ {
+		// Square-root bias: more area (and thus more sites) at larger radii.
+		u := rng.Float64()
+		r := minR + (maxR-minR)*u*u
+		if i < 3 {
+			// Guarantee a few close-in sites so there is always coverage.
+			r = minR + rng.Float64()*minR
+		}
+		theta := rng.Float64() * 2 * math.Pi
+		bss = append(bss, BS{
+			ID:     i,
+			X:      r * math.Cos(theta),
+			Y:      r * math.Sin(theta),
+			Height: height,
+		})
+	}
+	return bss
+}

@@ -1,0 +1,124 @@
+// Package core assembles the complete measurement pipeline of the paper —
+// mobility, radio access, link emulation, RTP transport with congestion
+// control, and the video pipeline — into runnable flight experiments, and
+// aggregates the metrics every figure and table of the evaluation needs.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rpivideo/internal/cell"
+)
+
+// CCKind selects the rate-control regime (§3.2: static, GCC or SCReAM).
+type CCKind int
+
+// Rate-control regimes.
+const (
+	CCStatic CCKind = iota
+	CCGCC
+	CCSCReAM
+)
+
+// String implements fmt.Stringer.
+func (k CCKind) String() string {
+	switch k {
+	case CCGCC:
+		return "gcc"
+	case CCSCReAM:
+		return "scream"
+	default:
+		return "static"
+	}
+}
+
+// Workload selects the traffic the experiment carries.
+type Workload int
+
+// Workloads.
+const (
+	// WorkloadVideo is the RTP video stream (the main campaign).
+	WorkloadVideo Workload = iota
+	// WorkloadPing is the ICMP-like probe stream of Fig. 13 (no cross
+	// traffic).
+	WorkloadPing
+)
+
+// Config describes one measurement run.
+type Config struct {
+	// Env and Op pick the environment and operator (§3.1).
+	Env cell.Environment
+	Op  cell.Operator
+	// Air selects the aerial campaign (UAV trajectory) versus the ground
+	// one (motorbike profile).
+	Air bool
+	// CC is the rate-control regime for video workloads.
+	CC CCKind
+	// StaticRate is the constant bitrate for CCStatic; zero selects the
+	// paper's per-environment choice (25 Mbps urban, 8 Mbps rural).
+	StaticRate float64
+	// Workload defaults to WorkloadVideo.
+	Workload Workload
+	// Seed drives all randomness; a (Config, Seed) pair reproduces
+	// bit-identically.
+	Seed int64
+	// Duration overrides the mobility profile duration when non-zero.
+	Duration time.Duration
+
+	// ScreamAckWindow overrides the RFC 8888 feedback window (§4.2.1
+	// ablation); zero keeps the library default of 64.
+	ScreamAckWindow int
+	// ScreamFeedbackInterval overrides the RFC 8888 report cadence (10 ms
+	// when zero). The §4.2.1 defect arithmetic — more packets arriving
+	// between two consecutive reports than the ack window covers — is a
+	// function of this cadence, the packet size and the bitrate.
+	ScreamFeedbackInterval time.Duration
+	// GCCTrendline selects the trendline delay estimator (modern WebRTC)
+	// instead of the paper-era Kalman filter (estimator ablation).
+	GCCTrendline bool
+	// JitterBuffer overrides the player jitter buffer (150 ms when zero).
+	JitterBuffer time.Duration
+	// DropOnLatency enables the rtpjitterbuffer drop-on-latency behaviour
+	// (Appendix A.4 ablation) with the given threshold.
+	DropOnLatency bool
+	DropThreshold time.Duration
+
+	// KeepSeries retains full per-packet time series in the result (needed
+	// for Fig. 8/9-style window analyses; memory-heavy for campaigns).
+	KeepSeries bool
+
+	// The §5 "what could fix this" extensions, off by default:
+
+	// DAPS switches handovers to the Dual Active Protocol Stack
+	// make-before-break procedure (3GPP Rel-16): no execution gap, masked
+	// pre/post-handover degradation.
+	DAPS bool
+	// AQM enables a CoDel queue manager on the bottleneck buffer instead
+	// of the operator's deep FIFO (the bufferbloat mitigation).
+	AQM bool
+	// Multipath duplicates the stream over both operators' access links
+	// (the multipath-transport reliability idea); the receiver plays the
+	// first copy of each packet.
+	Multipath bool
+}
+
+// staticRate resolves the constant bitrate for this config.
+func (c Config) staticRate() float64 {
+	if c.StaticRate > 0 {
+		return c.StaticRate
+	}
+	if c.Env == cell.Urban {
+		return 25e6
+	}
+	return 8e6
+}
+
+// Label names the run for tables and traces.
+func (c Config) Label() string {
+	mode := "grd"
+	if c.Air {
+		mode = "air"
+	}
+	return fmt.Sprintf("%s-%s-%s-%s", c.Env, c.Op, mode, c.CC)
+}

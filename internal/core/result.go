@@ -1,0 +1,165 @@
+package core
+
+import (
+	"time"
+
+	"rpivideo/internal/cell"
+	"rpivideo/internal/metrics"
+	"rpivideo/internal/video"
+)
+
+// AltBucket labels the altitude buckets of Fig. 13.
+type AltBucket int
+
+// Altitude buckets (metres above ground).
+const (
+	Alt0to20 AltBucket = iota
+	Alt21to60
+	Alt61to100
+	Alt101to140
+	altBuckets
+)
+
+// String implements fmt.Stringer.
+func (b AltBucket) String() string {
+	switch b {
+	case Alt0to20:
+		return "0-20m"
+	case Alt21to60:
+		return "21-60m"
+	case Alt61to100:
+		return "61-100m"
+	default:
+		return "101-140m"
+	}
+}
+
+// BucketFor returns the altitude bucket for a height in metres.
+func BucketFor(alt float64) AltBucket {
+	switch {
+	case alt <= 20:
+		return Alt0to20
+	case alt <= 60:
+		return Alt21to60
+	case alt <= 100:
+		return Alt61to100
+	default:
+		return Alt101to140
+	}
+}
+
+// Result aggregates one run's measurements.
+type Result struct {
+	Config   Config
+	Duration time.Duration
+
+	// Network-level metrics.
+	OWDms                                                 metrics.Dist // one-way delay of delivered media packets (ms)
+	OWDByAlt                                              [altBuckets]metrics.Dist
+	Goodput                                               metrics.Dist // per-second delivered Mbps
+	PER                                                   float64      // radio loss fraction
+	Handovers                                             []cell.Event
+	PacketsSent, PacketsDelivered, PacketsLost, Overflows int
+
+	// Full series, populated when Config.KeepSeries is set.
+	OWDSeries     *metrics.TimeSeries // (arrival time, OWD ms)
+	TargetSeries  *metrics.TimeSeries // (time, target Mbps)
+	GoodputSeries *metrics.TimeSeries // (second, Mbps)
+	LossTimes     []time.Duration     // radio-loss instants
+
+	// Video metrics (video workloads only).
+	FPS           metrics.Dist // frames played per second samples
+	PlaybackMs    metrics.Dist // playback latency per played frame (ms)
+	SSIM          metrics.Dist // per-frame SSIM incl. zeros for skipped
+	Stalls        []video.Stall
+	StallsPerMin  float64
+	FramesPlayed  int
+	FramesSkipped int
+
+	// Ping metrics (ping workloads only): RTT in ms bucketed by altitude.
+	RTTByAlt [altBuckets]metrics.Dist
+	RTTms    metrics.Dist
+
+	// RTCP-derived metrics (video workloads): RFC 3550 interarrival jitter
+	// sampled at each receiver report, and the sender-side RTT computed
+	// from the LSR/DLSR fields.
+	JitterMs  metrics.Dist
+	RTCPRTTms metrics.Dist
+
+	// MultipathDuplicates counts packets whose duplicate copy arrived after
+	// the first (multipath runs only).
+	MultipathDuplicates int
+	// AQMDrops counts CoDel head drops on the uplink (AQM runs only).
+	AQMDrops int
+
+	// SCReAM-internal counters (zero for other controllers).
+	ScreamLosses       int
+	ScreamLossesInBand int
+	ScreamLossesWindow int
+	ScreamDiscards     int
+
+	// Ramp-up: first time the controller target reached 99% of MaxRate
+	// (zero if never).
+	RampUpTo25 time.Duration
+}
+
+// GoodputMean returns the mean per-second goodput in Mbps.
+func (r *Result) GoodputMean() float64 { return r.Goodput.Mean() }
+
+// HandoverRate returns handovers per second.
+func (r *Result) HandoverRate() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(len(r.Handovers)) / r.Duration.Seconds()
+}
+
+// Merge folds several results into combined distributions for campaign
+// tables. Series are not merged.
+func Merge(results []*Result) *Result {
+	if len(results) == 0 {
+		return &Result{}
+	}
+	out := &Result{Config: results[0].Config}
+	var lostSum, sentSum int
+	for _, r := range results {
+		out.Duration += r.Duration
+		out.OWDms.AddAll(&r.OWDms)
+		for b := range r.OWDByAlt {
+			out.OWDByAlt[b].AddAll(&r.OWDByAlt[b])
+		}
+		out.Goodput.AddAll(&r.Goodput)
+		out.Handovers = append(out.Handovers, r.Handovers...)
+		out.PacketsSent += r.PacketsSent
+		out.PacketsDelivered += r.PacketsDelivered
+		out.PacketsLost += r.PacketsLost
+		out.Overflows += r.Overflows
+		lostSum += r.PacketsLost
+		sentSum += r.PacketsSent
+		out.FPS.AddAll(&r.FPS)
+		out.PlaybackMs.AddAll(&r.PlaybackMs)
+		out.SSIM.AddAll(&r.SSIM)
+		out.Stalls = append(out.Stalls, r.Stalls...)
+		out.FramesPlayed += r.FramesPlayed
+		out.FramesSkipped += r.FramesSkipped
+		out.RTTms.AddAll(&r.RTTms)
+		for b := range r.RTTByAlt {
+			out.RTTByAlt[b].AddAll(&r.RTTByAlt[b])
+		}
+		out.JitterMs.AddAll(&r.JitterMs)
+		out.RTCPRTTms.AddAll(&r.RTCPRTTms)
+		out.MultipathDuplicates += r.MultipathDuplicates
+		out.AQMDrops += r.AQMDrops
+		out.ScreamLosses += r.ScreamLosses
+		out.ScreamLossesInBand += r.ScreamLossesInBand
+		out.ScreamLossesWindow += r.ScreamLossesWindow
+		out.ScreamDiscards += r.ScreamDiscards
+	}
+	if sentSum > 0 {
+		out.PER = float64(lostSum) / float64(sentSum)
+	}
+	if out.Duration > 0 {
+		out.StallsPerMin = float64(len(out.Stalls)) / out.Duration.Minutes()
+	}
+	return out
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"time"
+
+	"rpivideo/internal/cc"
+	"rpivideo/internal/cell"
+	"rpivideo/internal/flight"
+	"rpivideo/internal/gcc"
+	"rpivideo/internal/link"
+	"rpivideo/internal/metrics"
+	"rpivideo/internal/rtp"
+	"rpivideo/internal/scream"
+	"rpivideo/internal/sim"
+	"rpivideo/internal/video"
+)
+
+// feedback cadences of the two implementations the paper used.
+const (
+	twccInterval = 50 * time.Millisecond
+	ccfbInterval = 10 * time.Millisecond
+)
+
+// Run executes one measurement run and returns its aggregated result.
+func Run(cfg Config) *Result {
+	s := sim.New(cfg.Seed)
+
+	// Mobility.
+	var prof flight.Profile
+	if cfg.Air {
+		prof = flight.StandardFlight()
+	} else {
+		prof = flight.GroundProfile(6*time.Minute, s.Stream("ground"))
+	}
+	dur := cfg.Duration
+	if dur == 0 {
+		dur = prof.Duration()
+	}
+	stateAt := func(at time.Duration) flight.State { return prof.At(at) }
+
+	// Radio access.
+	cellRng := s.Stream("cell")
+	bss := cell.Deployment(cfg.Env, cfg.Op, cellRng)
+	model := cell.NewSignalModel(cfg.Env, bss, cell.DefaultSignalConfigFor(cfg.Env), cellRng)
+	hoCfg := cell.DefaultHandoverConfigFor(cfg.Env)
+	hoCfg.DAPS = cfg.DAPS
+	machine := cell.NewMachine(model, hoCfg, cfg.Air, cellRng)
+
+	res := &Result{Config: cfg, Duration: dur}
+	s.Every(0, hoCfg.MeasurementInterval, func() {
+		if ev := machine.Step(s.Now(), stateAt(s.Now())); ev != nil {
+			res.Handovers = append(res.Handovers, *ev)
+		}
+	})
+
+	upProfile := link.ProfileFor(cfg.Env, cfg.Op)
+	upProfile.AQM = cfg.AQM
+	uplink := link.New(s, upProfile, machine, stateAt, s.Stream("uplink"))
+	downlink := link.New(s, link.FeedbackProfile(), machine, stateAt, s.Stream("downlink"))
+
+	// The multipath extension: an independent second radio chain over the
+	// competing operator, carrying a duplicate of every media packet.
+	var uplink2 *link.Link
+	if cfg.Multipath && cfg.Workload == WorkloadVideo {
+		op2 := cell.P2
+		if cfg.Op == cell.P2 {
+			op2 = cell.P1
+		}
+		rng2 := s.Stream("cell2")
+		bss2 := cell.Deployment(cfg.Env, op2, rng2)
+		model2 := cell.NewSignalModel(cfg.Env, bss2, cell.DefaultSignalConfigFor(cfg.Env), rng2)
+		hoCfg2 := cell.DefaultHandoverConfigFor(cfg.Env)
+		hoCfg2.DAPS = cfg.DAPS
+		machine2 := cell.NewMachine(model2, hoCfg2, cfg.Air, rng2)
+		s.Every(0, hoCfg2.MeasurementInterval, func() {
+			machine2.Step(s.Now(), stateAt(s.Now()))
+		})
+		prof2 := link.ProfileFor(cfg.Env, op2)
+		prof2.AQM = cfg.AQM
+		uplink2 = link.New(s, prof2, machine2, stateAt, s.Stream("uplink2"))
+	}
+
+	switch cfg.Workload {
+	case WorkloadPing:
+		runPing(s, cfg, res, uplink, downlink, stateAt, dur)
+	default:
+		runVideo(s, cfg, res, uplink, uplink2, downlink, stateAt, dur)
+	}
+
+	res.PacketsSent = uplink.Sent
+	res.PacketsDelivered = uplink.Delivered
+	res.PacketsLost = uplink.Lost
+	res.Overflows = uplink.Overflows
+	res.AQMDrops = uplink.AQMDrops
+	if uplink.Sent > 0 {
+		res.PER = float64(uplink.Lost) / float64(uplink.Sent)
+	}
+	return res
+}
+
+// runVideo wires the RTP video pipeline and runs it to completion. uplink2
+// is the optional second (multipath) access link carrying duplicates.
+func runVideo(s *sim.Simulator, cfg Config, res *Result, uplink, uplink2, downlink *link.Link, stateAt func(time.Duration) flight.State, dur time.Duration) {
+	var ctrl cc.Controller
+	switch cfg.CC {
+	case CCGCC:
+		ctrl = gcc.New(gcc.Config{UseTrendline: cfg.GCCTrendline})
+	case CCSCReAM:
+		ctrl = scream.New(scream.Config{})
+	default:
+		ctrl = cc.NewStatic(cfg.staticRate())
+	}
+
+	scfg := video.DefaultSenderConfig()
+	snd := video.NewSender(s, scfg, ctrl, s.Stream("encoder"))
+	pcfg := video.DefaultPlayerConfig()
+	if cfg.JitterBuffer > 0 {
+		pcfg.JitterBuffer = cfg.JitterBuffer
+	}
+	if cfg.CC == CCSCReAM {
+		// Reproduce the player pathology the paper observed with SCReAM at
+		// high bitrates (§4.2.2).
+		pcfg.LatchQuirk = true
+	}
+	if cfg.DropOnLatency {
+		pcfg.DropOnLatency = true
+		pcfg.DropThreshold = cfg.DropThreshold
+		if pcfg.DropThreshold == 0 {
+			pcfg.DropThreshold = pcfg.JitterBuffer + 100*time.Millisecond
+		}
+	}
+	pl := video.NewPlayer(s, pcfg, video.DefaultSSIMModel(), snd.FrameEncoding)
+
+	snd.Transmit = func(p *rtp.Packet, size int) {
+		uplink.Send(p, size)
+		if uplink2 != nil {
+			uplink2.Send(p, size)
+		}
+	}
+
+	// RFC 3550 sender/receiver reports, as the paper's pipeline logs them:
+	// the sender emits an SR once per second on the media path; the
+	// receiver answers with an RR carrying loss, extended-highest, the
+	// §A.8 interarrival jitter and the LSR/DLSR pair the sender turns into
+	// an RTT sample.
+	recStats := rtp.NewReceptionStats(scfg.SSRC, rtp.VideoClockRate)
+	var lastSRMid uint32
+	var lastSRAt time.Duration
+	s.Every(time.Second, time.Second, func() {
+		sr := &rtp.SenderReport{
+			SSRC:        scfg.SSRC,
+			NTPTime:     s.Now(),
+			RTPTime:     uint32(uint64(s.Now()) * rtp.VideoClockRate / uint64(time.Second)),
+			PacketCount: uint32(snd.PacketsSent),
+			OctetCount:  uint32(snd.BytesSent),
+		}
+		if buf, err := sr.Marshal(); err == nil {
+			uplink.Send(buf, len(buf))
+		}
+	})
+	s.Every(1500*time.Millisecond, time.Second, func() {
+		block := recStats.Block()
+		if lastSRAt > 0 {
+			block.LastSR = lastSRMid
+			block.DelaySinceLastSR = uint32((s.Now() - lastSRAt) * 65536 / time.Second)
+		}
+		rr := &rtp.ReceiverReport{SSRC: 1, Blocks: []rtp.ReportBlock{block}}
+		res.JitterMs.Add(float64(recStats.Jitter()) / float64(time.Millisecond))
+		if buf, err := rr.Marshal(); err == nil {
+			downlink.Send(rtcpBuf(buf), len(buf))
+		}
+	})
+
+	// Receiver-side feedback generation.
+	var twccRec *rtp.TWCCRecorder
+	var ccfbGen *rtp.CCFBGenerator
+	switch cfg.CC {
+	case CCGCC:
+		twccRec = rtp.NewTWCCRecorder(1, scfg.SSRC)
+		s.Every(twccInterval, twccInterval, func() {
+			fb := twccRec.Flush()
+			if fb == nil {
+				return
+			}
+			buf, err := fb.Marshal()
+			if err != nil {
+				return // e.g. delta overflow across a very long outage
+			}
+			downlink.Send(buf, len(buf))
+		})
+	case CCSCReAM:
+		window := cfg.ScreamAckWindow
+		if window == 0 {
+			// The authors raised the Ericsson library's 64-packet window to
+			// 256 for the campaign (§4.2.1); 64 remains available for the
+			// ablation.
+			window = 256
+		}
+		ccfbGen = rtp.NewCCFBGenerator(1, scfg.SSRC, window)
+		interval := cfg.ScreamFeedbackInterval
+		if interval == 0 {
+			interval = ccfbInterval
+		}
+		s.Every(interval, interval, func() {
+			fb := ccfbGen.Report(s.Now())
+			if fb == nil {
+				return
+			}
+			buf, err := fb.Marshal()
+			if err != nil {
+				return
+			}
+			downlink.Send(buf, len(buf))
+		})
+	}
+
+	// Per-second goodput accounting and optional full series. With
+	// multipath, only the first copy of each packet counts; the duplicate
+	// is discarded at the receiver.
+	goodputBytes := make(map[int]int)
+	var owdPts []metrics.Point
+	seen := make(map[uint16]bool)
+	var seenHighest uint16
+	seenStarted := false
+	deliver := func(meta any, size int, sentAt, at time.Duration) {
+		if buf, ok := meta.([]byte); ok {
+			// A sender report on the media path.
+			var sr rtp.SenderReport
+			if err := sr.Unmarshal(buf); err == nil {
+				lastSRMid = uint32(sr.NTPTime * 65536 / time.Second)
+				lastSRAt = at
+			}
+			return
+		}
+		p := meta.(*rtp.Packet)
+		if uplink2 != nil {
+			seq := p.Header.SequenceNumber
+			if seen[seq] {
+				res.MultipathDuplicates++
+				return
+			}
+			seen[seq] = true
+			if !seenStarted || seq-seenHighest < 0x8000 {
+				seenHighest = seq
+				seenStarted = true
+			}
+			if len(seen) > 1<<14 {
+				for k := range seen {
+					if seenHighest-k > 1<<13 {
+						delete(seen, k)
+					}
+				}
+			}
+		}
+		owd := at - sentAt
+		ms := float64(owd) / float64(time.Millisecond)
+		res.OWDms.Add(ms)
+		res.OWDByAlt[BucketFor(stateAt(sentAt).Alt)].Add(ms)
+		if cfg.KeepSeries {
+			owdPts = append(owdPts, metrics.Point{T: at, V: ms})
+		}
+		goodputBytes[int(at/time.Second)] += size
+		recStats.Record(p.Header.SequenceNumber, p.Header.Timestamp, at)
+		pl.OnPacket(p, at)
+		switch cfg.CC {
+		case CCGCC:
+			if tseq, ok := p.Header.TransportSeq(); ok {
+				twccRec.Record(tseq, at)
+			}
+		case CCSCReAM:
+			ccfbGen.Record(p.Header.SequenceNumber, at)
+		}
+	}
+	uplink.Deliver = deliver
+	if uplink2 != nil {
+		uplink2.Deliver = deliver
+	}
+	if cfg.KeepSeries {
+		uplink.OnDrop = func(meta any, size int, sentAt time.Duration, reason link.DropReason) {
+			res.LossTimes = append(res.LossTimes, sentAt)
+		}
+	}
+
+	// Sender-side feedback consumption.
+	downlink.Deliver = func(meta any, size int, sentAt, at time.Duration) {
+		if rb, ok := meta.(rtcpBuf); ok {
+			var rr rtp.ReceiverReport
+			if err := rr.Unmarshal([]byte(rb)); err == nil && len(rr.Blocks) == 1 {
+				b := rr.Blocks[0]
+				if b.LastSR != 0 {
+					lsr := time.Duration(b.LastSR) * time.Second / 65536
+					dlsr := time.Duration(b.DelaySinceLastSR) * time.Second / 65536
+					if rtt := at - lsr - dlsr; rtt > 0 {
+						res.RTCPRTTms.Add(float64(rtt) / float64(time.Millisecond))
+					}
+				}
+			}
+			return
+		}
+		buf := meta.([]byte)
+		switch cfg.CC {
+		case CCGCC:
+			var fb rtp.TWCC
+			if err := fb.Unmarshal(buf); err != nil {
+				return
+			}
+			acks := make([]cc.Ack, 0, len(fb.Packets))
+			for i, p := range fb.Packets {
+				tseq := fb.BaseSeq + uint16(i)
+				a := cc.Ack{TransportSeq: tseq, Received: p.Received, ArrivalTime: p.At}
+				if rec, ok := snd.LookupTransport(tseq); ok {
+					a.Seq, a.Size, a.SendTime = rec.Seq, rec.Size, rec.SendTime
+				}
+				acks = append(acks, a)
+			}
+			ctrl.OnFeedback(at, acks)
+		case CCSCReAM:
+			var fb rtp.CCFB
+			if err := fb.Unmarshal(buf); err != nil {
+				return
+			}
+			for _, rep := range fb.Reports {
+				acks := make([]cc.Ack, 0, len(rep.Metrics))
+				for i, m := range rep.Metrics {
+					seq := rep.BeginSeq + uint16(i)
+					a := cc.Ack{Seq: seq, Received: m.Received}
+					if m.Received {
+						a.ArrivalTime = fb.Timestamp - m.ArrivalOffset
+					}
+					if rec, ok := snd.LookupSeq(seq); ok {
+						a.TransportSeq, a.Size, a.SendTime = rec.TransportSeq, rec.Size, rec.SendTime
+					}
+					acks = append(acks, a)
+				}
+				ctrl.OnFeedback(at, acks)
+			}
+		}
+		snd.Kick()
+	}
+
+	// Target-rate sampling: ramp-up detection and optional series.
+	var targetPts []metrics.Point
+	s.Every(0, 100*time.Millisecond, func() {
+		t := ctrl.TargetBitrate(s.Now())
+		if cfg.KeepSeries {
+			targetPts = append(targetPts, metrics.Point{T: s.Now(), V: t / 1e6})
+		}
+		if res.RampUpTo25 == 0 && t >= 24.75e6 {
+			res.RampUpTo25 = s.Now()
+		}
+	})
+
+	snd.Start()
+	s.RunUntil(dur)
+	snd.Stop()
+	pl.Stop()
+
+	// Fold the player's view into the result.
+	res.FPS = *pl.FPSDist(dur)
+	res.PlaybackMs = *pl.LatencyDist()
+	res.SSIM = *pl.SSIMDist()
+	res.Stalls = pl.Stalls
+	res.StallsPerMin = pl.StallsPerMinute(dur)
+	for _, f := range pl.Frames {
+		if f.Skipped {
+			res.FramesSkipped++
+		} else {
+			res.FramesPlayed++
+		}
+	}
+	secs := int(dur / time.Second)
+	var gpPts []metrics.Point
+	for sec := 0; sec < secs; sec++ {
+		mbps := float64(goodputBytes[sec]*8) / 1e6
+		res.Goodput.Add(mbps)
+		if cfg.KeepSeries {
+			gpPts = append(gpPts, metrics.Point{T: time.Duration(sec) * time.Second, V: mbps})
+		}
+	}
+	if cfg.KeepSeries {
+		res.OWDSeries = metrics.NewTimeSeriesFromPoints(owdPts)
+		res.TargetSeries = metrics.NewTimeSeriesFromPoints(targetPts)
+		res.GoodputSeries = metrics.NewTimeSeriesFromPoints(gpPts)
+	}
+	if sc, ok := ctrl.(*scream.Controller); ok {
+		res.ScreamLosses = sc.Losses
+		res.ScreamLossesInBand = sc.LossesInBand
+		res.ScreamLossesWindow = sc.LossesWindow
+		res.ScreamDiscards = sc.QueueDiscards
+	}
+}
+
+// rtcpBuf marks receiver-report bytes on the downlink so they are not
+// mistaken for congestion-control feedback.
+type rtcpBuf []byte
+
+// pingProbe is the meta carried by Fig. 13 probe packets.
+type pingProbe struct {
+	sentAt time.Duration
+	alt    float64
+}
+
+// runPing wires the no-cross-traffic probe workload of Fig. 13: small
+// probes up the access link, echoed back over the downlink.
+func runPing(s *sim.Simulator, cfg Config, res *Result, uplink, downlink *link.Link, stateAt func(time.Duration) flight.State, dur time.Duration) {
+	const probeSize = 125 // ICMP-sized
+	uplink.Deliver = func(meta any, size int, sentAt, at time.Duration) {
+		downlink.Send(meta, size) // echo
+	}
+	downlink.Deliver = func(meta any, size int, sentAt, at time.Duration) {
+		probe := meta.(pingProbe)
+		rtt := at - probe.sentAt
+		ms := float64(rtt) / float64(time.Millisecond)
+		res.RTTms.Add(ms)
+		res.RTTByAlt[BucketFor(probe.alt)].Add(ms)
+	}
+	s.Every(0, 50*time.Millisecond, func() {
+		uplink.Send(pingProbe{sentAt: s.Now(), alt: stateAt(s.Now()).Alt}, probeSize)
+	})
+	s.RunUntil(dur)
+}
+
+// RunCampaign executes runs independent repetitions of cfg with derived
+// seeds and returns the individual results.
+func RunCampaign(cfg Config, runs int) []*Result {
+	out := make([]*Result, 0, runs)
+	for i := 0; i < runs; i++ {
+		c := cfg
+		c.Seed = cfg.Seed*1_000_003 + int64(i)
+		out = append(out, Run(c))
+	}
+	return out
+}

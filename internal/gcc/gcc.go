@@ -1,0 +1,288 @@
+// Package gcc implements send-side Google Congestion Control as described
+// by Carlucci, De Cicco, Holmer and Mascolo, "Analysis and Design of the
+// Google Congestion Control for Web Real-Time Communication" (MMSys '16) —
+// the GCC variant the paper's pipeline uses, driven by transport-wide
+// congestion control feedback.
+//
+// The controller combines a delay-based estimate (packet-group arrival
+// filter → Kalman gradient estimator → adaptive-threshold over-use detector
+// → AIMD remote-rate controller) with a loss-based controller; the target
+// rate is the minimum of the two.
+package gcc
+
+import (
+	"time"
+
+	"rpivideo/internal/cc"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// InitialRate is the starting target in bits/s (the paper's encoder
+	// floor of 2 Mbps if zero).
+	InitialRate float64
+	// MinRate and MaxRate clamp the target (2 and 25 Mbps if zero,
+	// matching the paper's encoder range).
+	MinRate float64
+	MaxRate float64
+	// BurstInterval groups packets sent within it into one arrival-filter
+	// group (5 ms if zero).
+	BurstInterval time.Duration
+	// PacingFactor scales the target into the pacing rate (1.25 if zero).
+	PacingFactor float64
+	// UseTrendline selects the linear-regression trendline estimator
+	// (modern WebRTC) instead of the Kalman filter of the paper-era GCC.
+	UseTrendline bool
+}
+
+func (c *Config) defaults() {
+	if c.MinRate == 0 {
+		c.MinRate = 2e6
+	}
+	if c.MaxRate == 0 {
+		c.MaxRate = 25e6
+	}
+	if c.InitialRate == 0 {
+		c.InitialRate = c.MinRate
+	}
+	if c.BurstInterval == 0 {
+		c.BurstInterval = 5 * time.Millisecond
+	}
+	if c.PacingFactor == 0 {
+		// Near-target pacing, as in the paper's pipeline: after a sharp
+		// target decrease, already-encoded frames drain at the reduced
+		// rate and starve the player (§4.2.1's FPS-dip mechanism).
+		c.PacingFactor = 1.15
+	}
+}
+
+// group accumulates the packets of one send burst.
+type group struct {
+	firstSend   time.Duration
+	lastSend    time.Duration
+	lastArrival time.Duration
+	bytes       int
+	valid       bool
+}
+
+// recvSample is one acked packet used for the incoming-rate estimate.
+type recvSample struct {
+	arrival time.Duration
+	bytes   int
+}
+
+// Controller implements cc.Controller with GCC.
+type Controller struct {
+	cfg    Config
+	filter *kalman
+	trend  *trendline // non-nil when cfg.UseTrendline
+	det    *detector
+	aimd   *aimd
+	loss   *lossController
+
+	prev, cur group
+
+	recv []recvSample // sliding 500 ms receive-rate window
+
+	rtt    time.Duration
+	target float64
+
+	numDeltas  int
+	lastSignal Signal
+}
+
+var _ cc.Controller = (*Controller)(nil)
+
+// New returns a GCC controller.
+func New(cfg Config) *Controller {
+	cfg.defaults()
+	c := &Controller{
+		cfg:    cfg,
+		filter: newKalman(),
+		det:    newDetector(),
+		aimd:   newAIMD(cfg.InitialRate, cfg.MinRate, cfg.MaxRate),
+		loss:   newLossController(cfg.MaxRate, cfg.MinRate, cfg.MaxRate),
+		target: cfg.InitialRate,
+		rtt:    100 * time.Millisecond,
+	}
+	if cfg.UseTrendline {
+		c.trend = newTrendline()
+	}
+	return c
+}
+
+// Name implements cc.Controller.
+func (c *Controller) Name() string { return "gcc" }
+
+// OnPacketSent implements cc.Controller. GCC keys all state off feedback,
+// which already carries the send times.
+func (c *Controller) OnPacketSent(cc.SentPacket) {}
+
+// TargetBitrate implements cc.Controller.
+func (c *Controller) TargetBitrate(time.Duration) float64 { return c.target }
+
+// PacingRate implements cc.Controller.
+func (c *Controller) PacingRate(time.Duration) float64 {
+	return c.target * c.cfg.PacingFactor
+}
+
+// CanSend implements cc.Controller: GCC is purely rate-based.
+func (c *Controller) CanSend(time.Duration, int) bool { return true }
+
+// RTT returns the smoothed feedback round-trip estimate.
+func (c *Controller) RTT() time.Duration { return c.rtt }
+
+// Signal returns the most recent over-use detector output (for traces and
+// tests).
+func (c *Controller) Signal() Signal { return c.lastSignal }
+
+// DelayGradient returns the current delay-gradient estimate: the Kalman
+// state in ms, or the scaled trendline slope when the trendline estimator
+// is selected.
+func (c *Controller) DelayGradient() float64 {
+	if c.trend != nil {
+		return c.trend.slope() * trendlineGain
+	}
+	return c.filter.m
+}
+
+// Threshold returns the current adaptive detector threshold in ms.
+func (c *Controller) Threshold() float64 { return c.det.gamma }
+
+// receiveRate returns R̂ in bits/s over the trailing 500 ms of receiver
+// time, trimming the window as a side effect.
+func (c *Controller) receiveRate(latestArrival time.Duration) float64 {
+	const window = 500 * time.Millisecond
+	cut := latestArrival - window
+	i := 0
+	for i < len(c.recv) && c.recv[i].arrival < cut {
+		i++
+	}
+	c.recv = c.recv[i:]
+	if len(c.recv) < 2 {
+		return 0
+	}
+	bytes := 0
+	for _, s := range c.recv {
+		bytes += s.bytes
+	}
+	return float64(bytes*8) / window.Seconds()
+}
+
+// OnFeedback implements cc.Controller: it ingests one TWCC report.
+func (c *Controller) OnFeedback(now time.Duration, acks []cc.Ack) {
+	if len(acks) == 0 {
+		return
+	}
+	lost, total := 0, 0
+	signal := SignalNormal
+	sawMeasurement := false
+	var latestArrival time.Duration
+
+	for _, a := range acks {
+		total++
+		if !a.Received {
+			lost++
+			continue
+		}
+		// RTT proxy: feedback arrival minus packet departure.
+		if s := now - a.SendTime; s > 0 {
+			if c.rtt == 0 {
+				c.rtt = s
+			} else {
+				c.rtt = (c.rtt*7 + s) / 8
+			}
+		}
+		c.recv = append(c.recv, recvSample{arrival: a.ArrivalTime, bytes: a.Size})
+		if a.ArrivalTime > latestArrival {
+			latestArrival = a.ArrivalTime
+		}
+		if sig, ok := c.addToGroup(a); ok {
+			sawMeasurement = true
+			signal = worst(signal, sig)
+		}
+	}
+
+	c.aimd.setRTT(c.rtt)
+	recvRate := c.receiveRate(latestArrival)
+
+	if sawMeasurement {
+		c.lastSignal = signal
+	} else {
+		signal = c.lastSignal
+	}
+	delayRate := c.aimd.update(signal, recvRate, now)
+
+	lossRate := c.loss.rate
+	if total > 0 {
+		lossRate = c.loss.update(float64(lost) / float64(total))
+	}
+
+	c.target = min(delayRate, lossRate)
+	if c.target < c.cfg.MinRate {
+		c.target = c.cfg.MinRate
+	} else if c.target > c.cfg.MaxRate {
+		c.target = c.cfg.MaxRate
+	}
+}
+
+// worst returns the more severe of two signals (overuse > underuse > normal).
+func worst(a, b Signal) Signal {
+	if a == SignalOveruse || b == SignalOveruse {
+		return SignalOveruse
+	}
+	if a == SignalUnderuse || b == SignalUnderuse {
+		return SignalUnderuse
+	}
+	return SignalNormal
+}
+
+// addToGroup feeds one received packet into the burst grouping. When the
+// packet opens a new group, the completed previous pair yields one
+// delay-variation measurement which is run through the filter and detector;
+// the resulting signal is returned with ok=true.
+func (c *Controller) addToGroup(a cc.Ack) (Signal, bool) {
+	if !c.cur.valid {
+		c.cur = group{firstSend: a.SendTime, lastSend: a.SendTime, lastArrival: a.ArrivalTime, bytes: a.Size, valid: true}
+		return 0, false
+	}
+	// Out-of-order w.r.t. the current group: ignore for grouping.
+	if a.SendTime < c.cur.firstSend {
+		return 0, false
+	}
+	if a.SendTime-c.cur.firstSend <= c.cfg.BurstInterval {
+		// Same burst.
+		if a.SendTime > c.cur.lastSend {
+			c.cur.lastSend = a.SendTime
+		}
+		if a.ArrivalTime > c.cur.lastArrival {
+			c.cur.lastArrival = a.ArrivalTime
+		}
+		c.cur.bytes += a.Size
+		return 0, false
+	}
+	// New group: measure against the previous one.
+	var sig Signal
+	ok := false
+	if c.prev.valid {
+		dSend := c.cur.lastSend - c.prev.lastSend
+		dArr := c.cur.lastArrival - c.prev.lastArrival
+		d := float64(dArr-dSend) / float64(time.Millisecond)
+		var m float64
+		if c.trend != nil {
+			m = c.trend.update(d, float64(c.cur.lastArrival)/float64(time.Millisecond))
+		} else {
+			m = c.filter.update(d)
+		}
+		// The detector compares the accumulated offset, as in the
+		// reference implementation: a small but persistent gradient must
+		// eventually cross the threshold.
+		c.numDeltas++
+		scale := float64(min(c.numDeltas, 60))
+		sig = c.det.update(m*scale, float64(c.cur.lastArrival)/float64(time.Millisecond))
+		ok = true
+	}
+	c.prev = c.cur
+	c.cur = group{firstSend: a.SendTime, lastSend: a.SendTime, lastArrival: a.ArrivalTime, bytes: a.Size, valid: true}
+	return sig, ok
+}

@@ -1,0 +1,76 @@
+package gcc
+
+// trendline is the delay-gradient estimator modern WebRTC uses instead of
+// the Kalman filter the paper-era GCC shipped: a least-squares slope of the
+// smoothed accumulated delay over arrival time, across a sliding window of
+// packet-group samples. The slope (dimensionless, ms of queue growth per ms
+// of wall time) is scaled by the threshold gain and the accumulated-delta
+// count before hitting the same adaptive-threshold over-use detector.
+//
+// Implementing both estimators lets the estimator ablation compare the 2016
+// design the paper measured against today's default.
+type trendline struct {
+	window    int
+	smoothing float64
+
+	accumulated float64
+	smoothed    float64
+	firstSet    bool
+	firstMs     float64
+
+	// ring of (arrival-ms-since-first, smoothed-delay) samples
+	times  []float64
+	delays []float64
+}
+
+// trendlineGain scales the fitted slope before threshold comparison, as in
+// the reference implementation.
+const trendlineGain = 4.0
+
+func newTrendline() *trendline {
+	return &trendline{window: 20, smoothing: 0.9}
+}
+
+// update feeds one inter-group delay variation d (ms) observed at
+// arrivalMs, returning the scaled trend estimate (comparable to the Kalman
+// gradient in ms).
+func (t *trendline) update(d, arrivalMs float64) float64 {
+	if !t.firstSet {
+		t.firstSet = true
+		t.firstMs = arrivalMs
+	}
+	t.accumulated += d
+	t.smoothed = t.smoothing*t.smoothed + (1-t.smoothing)*t.accumulated
+
+	t.times = append(t.times, arrivalMs-t.firstMs)
+	t.delays = append(t.delays, t.smoothed)
+	if len(t.times) > t.window {
+		t.times = t.times[1:]
+		t.delays = t.delays[1:]
+	}
+	if len(t.times) < t.window {
+		return 0
+	}
+	return t.slope() * trendlineGain
+}
+
+// slope returns the least-squares slope of delay over time.
+func (t *trendline) slope() float64 {
+	n := float64(len(t.times))
+	var sumX, sumY float64
+	for i := range t.times {
+		sumX += t.times[i]
+		sumY += t.delays[i]
+	}
+	meanX, meanY := sumX/n, sumY/n
+	var num, den float64
+	for i := range t.times {
+		dx := t.times[i] - meanX
+		num += dx * (t.delays[i] - meanY)
+		den += dx * dx
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,373 @@
+// Package link emulates the cellular access link of the measurement
+// campaign: a time-varying-capacity bottleneck with a deep (bufferbloated)
+// queue, residual burst loss, handover service interruptions, and the
+// pre/post-handover capacity degradations that produce the paper's latency
+// spikes (§4.2.2). It replaces the live LTE uplink per the substitution
+// rule in DESIGN.md.
+package link
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"rpivideo/internal/cell"
+	"rpivideo/internal/flight"
+	"rpivideo/internal/sim"
+)
+
+// DropReason explains why the link dropped a packet.
+type DropReason int
+
+// Drop reasons.
+const (
+	// DropLoss is a radio loss (residual after HARQ).
+	DropLoss DropReason = iota
+	// DropOverflow is a bottleneck buffer tail drop.
+	DropOverflow
+	// DropAQM is a CoDel head drop by the active queue manager.
+	DropAQM
+)
+
+// String implements fmt.Stringer.
+func (r DropReason) String() string {
+	switch r {
+	case DropLoss:
+		return "loss"
+	case DropAQM:
+		return "aqm"
+	default:
+		return "overflow"
+	}
+}
+
+// Link is one emulated direction of the access link.
+type Link struct {
+	sim  *sim.Simulator
+	prof Profile
+	rng  *rand.Rand
+
+	// machine supplies handover interruptions and radio degradation; nil
+	// for a static (no-mobility) link.
+	machine *cell.Machine
+	// state supplies the vehicle state for altitude effects; nil means
+	// ground level.
+	state func(time.Duration) flight.State
+
+	// Deliver is invoked when a packet exits the link. Must be set before
+	// the first Send.
+	Deliver func(meta any, size int, sentAt, deliveredAt time.Duration)
+	// OnDrop, if set, is invoked when the link drops a packet.
+	OnDrop func(meta any, size int, sentAt time.Duration, reason DropReason)
+
+	// Capacity fluctuation (Ornstein–Uhlenbeck around MeanCapacity).
+	capDev  float64 // relative deviation
+	capLast time.Duration
+	capInit bool
+
+	// Bottleneck queue.
+	queue      []queued
+	queueBytes int
+	serving    bool
+
+	// Burst-loss (Gilbert) state.
+	inBurst bool
+
+	// nextOutlierIn is the remaining at-altitude exposure until the next
+	// HARQ stall (exponentially distributed); negative means unsampled.
+	nextOutlierIn time.Duration
+	lastOutlierAt time.Duration
+
+	// CoDel state (when the profile enables AQM).
+	codelFirstAbove time.Duration // when the sojourn first exceeded target (+interval)
+	codelDropNext   time.Duration
+	codelDropping   bool
+	codelCount      int
+
+	// AQMDrops counts CoDel head drops.
+	AQMDrops int
+
+	// Counters.
+	Sent      int
+	Delivered int
+	Lost      int
+	Overflows int
+}
+
+type queued struct {
+	meta   any
+	size   int
+	sentAt time.Duration
+}
+
+// New returns a link on the given simulator. machine and state may be nil.
+func New(s *sim.Simulator, prof Profile, machine *cell.Machine, state func(time.Duration) flight.State, rng *rand.Rand) *Link {
+	return &Link{sim: s, prof: prof, rng: rng, machine: machine, state: state}
+}
+
+// Capacity returns the current effective capacity in bits/s (before
+// handover degradation).
+func (l *Link) Capacity() float64 { return l.capacity(l.sim.Now()) }
+
+// capacity advances the OU fluctuation to now and returns the raw capacity.
+func (l *Link) capacity(now time.Duration) float64 {
+	if !l.capInit {
+		l.capInit = true
+		l.capLast = now
+		l.capDev = l.rng.NormFloat64() * l.prof.CapSigma
+	}
+	dt := (now - l.capLast).Seconds()
+	if dt > 0 {
+		l.capLast = now
+		tau := l.prof.CapTau.Seconds()
+		if tau <= 0 {
+			tau = 1
+		}
+		rate := dt / tau
+		if rate > 1 {
+			rate = 1
+		}
+		l.capDev += -l.capDev*rate + l.prof.CapSigma*math.Sqrt(2*rate)*l.rng.NormFloat64()
+	}
+	c := l.prof.MeanCapacity * (1 + l.capDev)
+	if c < l.prof.MinCapacity {
+		c = l.prof.MinCapacity
+	}
+	return c
+}
+
+// effectiveCapacity folds in the handover radio degradation; it returns 0
+// when the link is interrupted.
+func (l *Link) effectiveCapacity(now time.Duration) float64 {
+	c := l.capacity(now)
+	if l.machine != nil {
+		c *= l.machine.RadioDegradation(now)
+	}
+	return c
+}
+
+// vehicleState returns the current vehicle state (ground if no provider).
+func (l *Link) vehicleState(now time.Duration) flight.State {
+	if l.state == nil {
+		return flight.State{}
+	}
+	return l.state(now)
+}
+
+// lose decides radio loss for one packet using the Gilbert burst model,
+// with extra loss above the profile's altitude threshold.
+func (l *Link) lose(now time.Duration) bool {
+	if l.prof.PER <= 0 {
+		return false
+	}
+	burst := l.prof.MeanBurstLen
+	if burst < 1 {
+		burst = 1
+	}
+	if l.inBurst {
+		if l.rng.Float64() < 1/burst {
+			l.inBurst = false // burst ends after this (still lost) packet
+		}
+		return true
+	}
+	enter := l.prof.PER / burst / (1 - l.prof.PER)
+	if l.prof.AltLossAbove > 0 && l.vehicleState(now).Alt > l.prof.AltLossAbove {
+		enter *= l.prof.AltLossFactor
+	}
+	if l.rng.Float64() < enter {
+		l.inBurst = true
+		return true
+	}
+	return false
+}
+
+// Send puts one packet onto the link at the current simulation time.
+func (l *Link) Send(meta any, size int) {
+	now := l.sim.Now()
+	l.Sent++
+	if l.lose(now) {
+		l.Lost++
+		if l.OnDrop != nil {
+			l.OnDrop(meta, size, now, DropLoss)
+		}
+		return
+	}
+	if l.queueBytes+size > l.prof.BufferBytes {
+		l.Overflows++
+		if l.OnDrop != nil {
+			l.OnDrop(meta, size, now, DropOverflow)
+		}
+		return
+	}
+	l.queue = append(l.queue, queued{meta: meta, size: size, sentAt: now})
+	l.queueBytes += size
+	if !l.serving {
+		l.serveNext()
+	}
+}
+
+// QueueBytes returns the bytes waiting in the bottleneck buffer.
+func (l *Link) QueueBytes() int { return l.queueBytes }
+
+// QueueDelay estimates the buffer drain time at the current capacity.
+func (l *Link) QueueDelay() time.Duration {
+	c := l.capacity(l.sim.Now())
+	if c <= 0 {
+		return 0
+	}
+	return time.Duration(float64(l.queueBytes*8) / c * float64(time.Second))
+}
+
+// serveNext serves the head-of-line packet. Service is event-driven: the
+// serialization time comes from the current effective capacity; an
+// interrupted link retries when the handover execution window ends.
+func (l *Link) serveNext() {
+	if len(l.queue) == 0 {
+		l.serving = false
+		return
+	}
+	l.serving = true
+	now := l.sim.Now()
+
+	// Handover execution: the radio is silent; resume when it ends.
+	if l.machine != nil && l.machine.InHandover(now) {
+		resume := l.machine.BusyUntil()
+		if resume <= now {
+			resume = now + time.Millisecond
+		}
+		l.sim.At(resume, l.serveNext)
+		return
+	}
+
+	c := l.effectiveCapacity(now)
+	if c <= 0 {
+		// Degraded to nothing: poll again shortly.
+		l.sim.After(5*time.Millisecond, l.serveNext)
+		return
+	}
+	l.codel(now)
+	if len(l.queue) == 0 {
+		l.serving = false
+		return
+	}
+	pkt := l.queue[0]
+	ser := time.Duration(float64(pkt.size*8) / c * float64(time.Second))
+	// HARQ/RLC retransmission pile-up at altitude: the radio stalls for a
+	// while, and RLC's in-order delivery stalls everything behind it too
+	// (Fig. 13's high-RTT outliers above 100 m). A service-time stall
+	// keeps delivery FIFO, as LTE does; events follow a Poisson process
+	// in at-altitude time.
+	if l.outlierStall(now) {
+		ser += time.Duration(100+l.rng.Float64()*900) * time.Millisecond
+	}
+	l.sim.After(ser, func() {
+		l.queue[0] = queued{}
+		l.queue = l.queue[1:]
+		l.queueBytes -= pkt.size
+		l.deliver(pkt)
+		l.serveNext()
+	})
+}
+
+// codel applies the CoDel control law at dequeue time: once the head-of-
+// queue sojourn has exceeded the target for a whole interval, head packets
+// are dropped at a rate that increases with the square root of the drop
+// count until the sojourn falls back under the target.
+func (l *Link) codel(now time.Duration) {
+	if !l.prof.AQM {
+		return
+	}
+	target := l.prof.AQMTarget
+	if target == 0 {
+		target = 50 * time.Millisecond
+	}
+	interval := l.prof.AQMInterval
+	if interval == 0 {
+		interval = 100 * time.Millisecond
+	}
+	sojourn := func() (time.Duration, bool) {
+		if len(l.queue) == 0 {
+			return 0, false
+		}
+		return now - l.queue[0].sentAt, true
+	}
+	s, ok := sojourn()
+	if !ok || s < target {
+		l.codelFirstAbove = 0
+		l.codelDropping = false
+		return
+	}
+	if l.codelFirstAbove == 0 {
+		l.codelFirstAbove = now + interval
+		return
+	}
+	if !l.codelDropping {
+		if now < l.codelFirstAbove {
+			return
+		}
+		// Enter the dropping state. Resume near the previous drop rate if
+		// we were dropping recently (CoDel's hysteresis).
+		l.codelDropping = true
+		if l.codelCount > 2 && now-l.codelDropNext < 8*interval {
+			l.codelCount -= 2
+		} else {
+			l.codelCount = 1
+		}
+		l.codelDropNext = now
+	}
+	for l.codelDropping && now >= l.codelDropNext {
+		s, ok := sojourn()
+		if !ok || s < target {
+			l.codelDropping = false
+			l.codelFirstAbove = 0
+			return
+		}
+		head := l.queue[0]
+		l.queue[0] = queued{}
+		l.queue = l.queue[1:]
+		l.queueBytes -= head.size
+		l.AQMDrops++
+		if l.OnDrop != nil {
+			l.OnDrop(head.meta, head.size, head.sentAt, DropAQM)
+		}
+		l.codelCount++
+		l.codelDropNext = now + time.Duration(float64(interval)/math.Sqrt(float64(l.codelCount)))
+	}
+}
+
+// outlierStall decides whether a HARQ stall begins now, advancing the
+// Poisson exposure clock while the vehicle is above the altitude threshold.
+func (l *Link) outlierStall(now time.Duration) bool {
+	if l.prof.AltOutlierAbove <= 0 || l.prof.AltOutlierRate <= 0 {
+		return false
+	}
+	if l.vehicleState(now).Alt <= l.prof.AltOutlierAbove {
+		l.lastOutlierAt = now
+		return false
+	}
+	if l.nextOutlierIn <= 0 {
+		mean := time.Duration(float64(time.Second) / l.prof.AltOutlierRate)
+		l.nextOutlierIn = time.Duration(l.rng.ExpFloat64() * float64(mean))
+	}
+	l.nextOutlierIn -= now - l.lastOutlierAt
+	l.lastOutlierAt = now
+	if l.nextOutlierIn <= 0 {
+		l.nextOutlierIn = 0 // resample on the next exposure
+		return true
+	}
+	return false
+}
+
+// deliver schedules the packet's arrival after propagation delay and
+// per-packet jitter.
+func (l *Link) deliver(pkt queued) {
+	delay := l.prof.BaseOWD
+	if l.prof.JitterSigma > 0 {
+		j := time.Duration(math.Abs(l.rng.NormFloat64()) * float64(l.prof.JitterSigma))
+		delay += j
+	}
+	l.sim.After(delay, func() {
+		l.Delivered++
+		l.Deliver(pkt.meta, pkt.size, pkt.sentAt, l.sim.Now())
+	})
+}

@@ -1,0 +1,274 @@
+// Package metrics provides the statistical aggregates used throughout the
+// reproduction: sample distributions with quantiles and CDFs (the paper's
+// box plots and CDF figures), time series with windowed queries (the
+// pre/post-handover latency-ratio analysis of Fig. 9), and per-interval rate
+// counters (handovers/s, goodput/s, stalls/min).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Dist accumulates a sample distribution. The zero value is ready to use.
+type Dist struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Add appends one sample.
+func (d *Dist) Add(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+	d.sum += v
+}
+
+// AddAll appends every sample of o.
+func (d *Dist) AddAll(o *Dist) {
+	d.samples = append(d.samples, o.samples...)
+	d.sorted = false
+	d.sum += o.sum
+}
+
+// N returns the number of samples.
+func (d *Dist) N() int { return len(d.samples) }
+
+// Sum returns the sum of all samples.
+func (d *Dist) Sum() float64 { return d.sum }
+
+// Mean returns the sample mean, or 0 for an empty distribution.
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.sum / float64(len(d.samples))
+}
+
+func (d *Dist) sort() {
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation
+// between closest ranks. It returns 0 for an empty distribution.
+func (d *Dist) Quantile(q float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sort()
+	if q <= 0 {
+		return d.samples[0]
+	}
+	if q >= 1 {
+		return d.samples[len(d.samples)-1]
+	}
+	pos := q * float64(len(d.samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return d.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (d *Dist) Min() float64 { return d.Quantile(0) }
+
+// Max returns the largest sample, or 0 when empty.
+func (d *Dist) Max() float64 { return d.Quantile(1) }
+
+// Median returns the 0.5-quantile.
+func (d *Dist) Median() float64 { return d.Quantile(0.5) }
+
+// Stddev returns the population standard deviation.
+func (d *Dist) Stddev() float64 {
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := d.Mean()
+	var ss float64
+	for _, v := range d.samples {
+		dv := v - mean
+		ss += dv * dv
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// FracBelow returns the fraction of samples strictly below x.
+func (d *Dist) FracBelow(x float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sort()
+	i := sort.SearchFloat64s(d.samples, x)
+	return float64(i) / float64(len(d.samples))
+}
+
+// FracAtOrAbove returns the fraction of samples ≥ x.
+func (d *Dist) FracAtOrAbove(x float64) float64 { return 1 - d.FracBelow(x) }
+
+// CDF evaluates the empirical CDF at each of xs, returning P(X ≤ x).
+func (d *Dist) CDF(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(d.samples) == 0 {
+		return out
+	}
+	d.sort()
+	for i, x := range xs {
+		// Upper bound: first index with sample > x.
+		j := sort.Search(len(d.samples), func(k int) bool { return d.samples[k] > x })
+		out[i] = float64(j) / float64(len(d.samples))
+	}
+	return out
+}
+
+// Box summarizes a distribution the way the paper's box plots do.
+type Box struct {
+	N                        int
+	Min, Q1, Median, Q3, Max float64
+	Mean                     float64
+}
+
+// Box returns the box-plot summary of the distribution.
+func (d *Dist) Box() Box {
+	return Box{
+		N:      d.N(),
+		Min:    d.Quantile(0),
+		Q1:     d.Quantile(0.25),
+		Median: d.Quantile(0.5),
+		Q3:     d.Quantile(0.75),
+		Max:    d.Quantile(1),
+		Mean:   d.Mean(),
+	}
+}
+
+// String renders the box summary on one line.
+func (b Box) String() string {
+	return fmt.Sprintf("n=%d min=%.3g q1=%.3g med=%.3g q3=%.3g max=%.3g mean=%.3g",
+		b.N, b.Min, b.Q1, b.Median, b.Q3, b.Max, b.Mean)
+}
+
+// Point is one timestamped sample of a time series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// TimeSeries is an append-only series of timestamped samples. Points must be
+// appended in non-decreasing time order.
+type TimeSeries struct {
+	points []Point
+}
+
+// Add appends a point; it panics if time order is violated, since windowed
+// queries rely on sortedness.
+func (ts *TimeSeries) Add(t time.Duration, v float64) {
+	if n := len(ts.points); n > 0 && t < ts.points[n-1].T {
+		panic(fmt.Sprintf("metrics: TimeSeries.Add out of order: %v after %v", t, ts.points[n-1].T))
+	}
+	ts.points = append(ts.points, Point{t, v})
+}
+
+// Len returns the number of points.
+func (ts *TimeSeries) Len() int { return len(ts.points) }
+
+// Points returns the underlying points. The caller must not mutate them.
+func (ts *TimeSeries) Points() []Point { return ts.points }
+
+// NewTimeSeriesFromPoints builds a series from possibly-unordered points
+// (e.g. packet arrivals reordered by jitter), sorting them by time.
+func NewTimeSeriesFromPoints(pts []Point) *TimeSeries {
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
+	return &TimeSeries{points: sorted}
+}
+
+// Window returns the points with from ≤ T < to.
+func (ts *TimeSeries) Window(from, to time.Duration) []Point {
+	lo := sort.Search(len(ts.points), func(i int) bool { return ts.points[i].T >= from })
+	hi := sort.Search(len(ts.points), func(i int) bool { return ts.points[i].T >= to })
+	return ts.points[lo:hi]
+}
+
+// WindowMaxMinRatio returns max/min over the window [from, to) and true, or
+// 0 and false when the window has no points or a non-positive minimum. This
+// is the paper's Fig. 9 statistic (latency spike magnitude around handovers).
+func (ts *TimeSeries) WindowMaxMinRatio(from, to time.Duration) (float64, bool) {
+	pts := ts.Window(from, to)
+	if len(pts) == 0 {
+		return 0, false
+	}
+	min, max := pts[0].V, pts[0].V
+	for _, p := range pts[1:] {
+		if p.V < min {
+			min = p.V
+		}
+		if p.V > max {
+			max = p.V
+		}
+	}
+	if min <= 0 {
+		return 0, false
+	}
+	return max / min, true
+}
+
+// Dist converts the series values to a distribution (timestamps dropped).
+func (ts *TimeSeries) Dist() *Dist {
+	var d Dist
+	for _, p := range ts.points {
+		d.Add(p.V)
+	}
+	return &d
+}
+
+// RateCounter counts events and converts them into a per-interval rate.
+type RateCounter struct {
+	events []time.Duration
+}
+
+// Mark records one event at time t.
+func (rc *RateCounter) Mark(t time.Duration) { rc.events = append(rc.events, t) }
+
+// Count returns the total number of events.
+func (rc *RateCounter) Count() int { return len(rc.events) }
+
+// Events returns the recorded event times.
+func (rc *RateCounter) Events() []time.Duration { return rc.events }
+
+// PerSecond returns events/second over the observation span.
+func (rc *RateCounter) PerSecond(span time.Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(rc.events)) / span.Seconds()
+}
+
+// PerMinute returns events/minute over the observation span.
+func (rc *RateCounter) PerMinute(span time.Duration) float64 {
+	return rc.PerSecond(span) * 60
+}
+
+// Binned returns the per-bin event counts over [0, span) with the given bin
+// width. Events outside the span are ignored.
+func (rc *RateCounter) Binned(span, bin time.Duration) []int {
+	if bin <= 0 || span <= 0 {
+		return nil
+	}
+	n := int((span + bin - 1) / bin)
+	out := make([]int, n)
+	for _, e := range rc.events {
+		if e < 0 || e >= span {
+			continue
+		}
+		out[int(e/bin)]++
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDistEmpty(t *testing.T) {
+	var d Dist
+	if d.N() != 0 || d.Mean() != 0 || d.Quantile(0.5) != 0 || d.FracBelow(1) != 0 {
+		t.Error("empty Dist should return zeros")
+	}
+	if got := d.CDF([]float64{1, 2}); got[0] != 0 || got[1] != 0 {
+		t.Error("empty Dist CDF should be zero")
+	}
+}
+
+func TestDistBasicStats(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		d.Add(v)
+	}
+	if d.N() != 5 {
+		t.Errorf("N = %d", d.N())
+	}
+	if !almost(d.Mean(), 3) {
+		t.Errorf("Mean = %v", d.Mean())
+	}
+	if !almost(d.Median(), 3) {
+		t.Errorf("Median = %v", d.Median())
+	}
+	if !almost(d.Min(), 1) || !almost(d.Max(), 5) {
+		t.Errorf("Min/Max = %v/%v", d.Min(), d.Max())
+	}
+	if !almost(d.Stddev(), math.Sqrt(2)) {
+		t.Errorf("Stddev = %v", d.Stddev())
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	var d Dist
+	d.Add(0)
+	d.Add(10)
+	if got := d.Quantile(0.25); !almost(got, 2.5) {
+		t.Errorf("Quantile(0.25) = %v, want 2.5", got)
+	}
+	if got := d.Quantile(-1); !almost(got, 0) {
+		t.Errorf("Quantile(-1) = %v, want clamp to min", got)
+	}
+	if got := d.Quantile(2); !almost(got, 10) {
+		t.Errorf("Quantile(2) = %v, want clamp to max", got)
+	}
+}
+
+func TestFracBelow(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{1, 2, 2, 3} {
+		d.Add(v)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0}, {1.5, 0.25}, {2, 0.25}, {2.5, 0.75}, {4, 1},
+	}
+	for _, c := range cases {
+		if got := d.FracBelow(c.x); !almost(got, c.want) {
+			t.Errorf("FracBelow(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if got := d.FracAtOrAbove(2); !almost(got, 0.75) {
+		t.Errorf("FracAtOrAbove(2) = %v, want 0.75", got)
+	}
+}
+
+func TestCDFIsInclusive(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{1, 2, 3} {
+		d.Add(v)
+	}
+	got := d.CDF([]float64{0, 1, 2, 3, 4})
+	want := []float64{0, 1.0 / 3, 2.0 / 3, 1, 1}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Errorf("CDF[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAddAll(t *testing.T) {
+	var a, b Dist
+	a.Add(1)
+	b.Add(3)
+	a.AddAll(&b)
+	if a.N() != 2 || !almost(a.Mean(), 2) {
+		t.Errorf("AddAll: n=%d mean=%v", a.N(), a.Mean())
+	}
+}
+
+func TestBoxSummary(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 5; i++ {
+		d.Add(float64(i))
+	}
+	b := d.Box()
+	if b.N != 5 || !almost(b.Min, 1) || !almost(b.Q1, 2) || !almost(b.Median, 3) ||
+		!almost(b.Q3, 4) || !almost(b.Max, 5) || !almost(b.Mean, 3) {
+		t.Errorf("Box = %+v", b)
+	}
+	if b.String() == "" {
+		t.Error("Box.String empty")
+	}
+}
+
+func TestTimeSeriesWindow(t *testing.T) {
+	var ts TimeSeries
+	for i := 0; i < 10; i++ {
+		ts.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	pts := ts.Window(2*time.Second, 5*time.Second)
+	if len(pts) != 3 || pts[0].V != 2 || pts[2].V != 4 {
+		t.Errorf("Window = %v", pts)
+	}
+	if got := ts.Window(20*time.Second, 30*time.Second); len(got) != 0 {
+		t.Errorf("out-of-range window = %v", got)
+	}
+}
+
+func TestTimeSeriesOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-order Add")
+		}
+	}()
+	var ts TimeSeries
+	ts.Add(2*time.Second, 1)
+	ts.Add(1*time.Second, 1)
+}
+
+func TestWindowMaxMinRatio(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(0, 50)
+	ts.Add(200*time.Millisecond, 400)
+	ts.Add(800*time.Millisecond, 100)
+	r, ok := ts.WindowMaxMinRatio(0, time.Second)
+	if !ok || !almost(r, 8) {
+		t.Errorf("ratio = %v ok=%v, want 8 true", r, ok)
+	}
+	if _, ok := ts.WindowMaxMinRatio(5*time.Second, 6*time.Second); ok {
+		t.Error("empty window should report ok=false")
+	}
+	var zs TimeSeries
+	zs.Add(0, 0)
+	if _, ok := zs.WindowMaxMinRatio(0, time.Second); ok {
+		t.Error("zero minimum should report ok=false")
+	}
+}
+
+func TestTimeSeriesDist(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(0, 1)
+	ts.Add(time.Second, 3)
+	d := ts.Dist()
+	if d.N() != 2 || !almost(d.Mean(), 2) {
+		t.Errorf("Dist: n=%d mean=%v", d.N(), d.Mean())
+	}
+}
+
+func TestRateCounter(t *testing.T) {
+	var rc RateCounter
+	for i := 0; i < 6; i++ {
+		rc.Mark(time.Duration(i) * 10 * time.Second)
+	}
+	if rc.Count() != 6 {
+		t.Errorf("Count = %d", rc.Count())
+	}
+	if got := rc.PerSecond(60 * time.Second); !almost(got, 0.1) {
+		t.Errorf("PerSecond = %v", got)
+	}
+	if got := rc.PerMinute(60 * time.Second); !almost(got, 6) {
+		t.Errorf("PerMinute = %v", got)
+	}
+	if got := rc.PerSecond(0); got != 0 {
+		t.Errorf("PerSecond(0) = %v", got)
+	}
+}
+
+func TestRateCounterBinned(t *testing.T) {
+	var rc RateCounter
+	rc.Mark(1 * time.Second)
+	rc.Mark(1500 * time.Millisecond)
+	rc.Mark(2500 * time.Millisecond)
+	rc.Mark(10 * time.Second) // outside span
+	bins := rc.Binned(3*time.Second, time.Second)
+	want := []int{0, 2, 1}
+	if len(bins) != 3 {
+		t.Fatalf("bins = %v", bins)
+	}
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Errorf("bins = %v, want %v", bins, want)
+		}
+	}
+	if rc.Binned(0, time.Second) != nil || rc.Binned(time.Second, 0) != nil {
+		t.Error("degenerate Binned args should return nil")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(vals []float64, q1, q2 float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var d Dist
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			d.Add(v)
+		}
+		a := math.Mod(math.Abs(q1), 1)
+		b := math.Mod(math.Abs(q2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		qa, qb := d.Quantile(a), d.Quantile(b)
+		return qa <= qb && qa >= d.Min() && qb <= d.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FracBelow is the empirical CDF left limit — consistent with a
+// direct count.
+func TestPropertyFracBelowCount(t *testing.T) {
+	f := func(vals []float64, x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		var d Dist
+		n := 0
+		count := 0
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			d.Add(v)
+			n++
+			if v < x {
+				count++
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		return almost(d.FracBelow(x), float64(count)/float64(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF output is monotone for sorted inputs.
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(vals []float64, xs []float64) bool {
+		var d Dist
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			d.Add(v)
+		}
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) {
+				clean = append(clean, x)
+			}
+		}
+		sort.Float64s(clean)
+		out := d.CDF(clean)
+		for i := 1; i < len(out); i++ {
+			if out[i] < out[i-1] {
+				return false
+			}
+		}
+		for _, p := range out {
+			if p < 0 || p > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

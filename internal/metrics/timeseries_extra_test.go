@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewTimeSeriesFromPointsSorts(t *testing.T) {
+	pts := []Point{
+		{T: 3 * time.Second, V: 3},
+		{T: 1 * time.Second, V: 1},
+		{T: 2 * time.Second, V: 2},
+	}
+	ts := NewTimeSeriesFromPoints(pts)
+	got := ts.Points()
+	for i := 1; i < len(got); i++ {
+		if got[i].T < got[i-1].T {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+	// The input slice is not mutated.
+	if pts[0].T != 3*time.Second {
+		t.Error("input mutated")
+	}
+	// Windowed queries work on the result.
+	if w := ts.Window(1500*time.Millisecond, 2500*time.Millisecond); len(w) != 1 || w[0].V != 2 {
+		t.Errorf("window = %v", w)
+	}
+}
+
+// Property: building from shuffled points equals building in order.
+func TestPropertyFromPointsOrderInvariant(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%50 + 1
+		ordered := make([]Point, count)
+		for i := range ordered {
+			ordered[i] = Point{T: time.Duration(i) * time.Second, V: rng.Float64()}
+		}
+		shuffled := append([]Point(nil), ordered...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		a := NewTimeSeriesFromPoints(ordered).Points()
+		b := NewTimeSeriesFromPoints(shuffled).Points()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

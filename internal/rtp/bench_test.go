@@ -1,0 +1,101 @@
+package rtp
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkHeaderMarshal(b *testing.B) {
+	h := Header{Marker: true, PayloadType: 96, SequenceNumber: 1, Timestamp: 2, SSRC: 3}
+	h.SetTransportSeq(7)
+	buf := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.MarshalTo(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeaderUnmarshal(b *testing.B) {
+	h := Header{Marker: true, PayloadType: 96, SequenceNumber: 1, Timestamp: 2, SSRC: 3}
+	h.SetTransportSeq(7)
+	buf, err := h.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var g Header
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTWCCMarshal(b *testing.B) {
+	fb := &TWCC{BaseSeq: 100}
+	at := time.Second
+	for i := 0; i < 100; i++ {
+		received := i%11 != 0
+		a := Arrival{Received: received}
+		if received {
+			at += 500 * time.Microsecond
+			a.At = at
+		}
+		fb.Packets = append(fb.Packets, a)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fb.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTWCCUnmarshal(b *testing.B) {
+	fb := &TWCC{BaseSeq: 100}
+	at := time.Second
+	for i := 0; i < 100; i++ {
+		at += 500 * time.Microsecond
+		fb.Packets = append(fb.Packets, Arrival{Received: true, At: at})
+	}
+	buf, err := fb.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var g TWCC
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCCFBRoundTrip(b *testing.B) {
+	g := NewCCFBGenerator(1, 2, 256)
+	for i := 0; i < 300; i++ {
+		g.Record(uint16(i), time.Duration(i)*400*time.Microsecond)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fb := g.Report(time.Second)
+		buf, err := fb.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var parsed CCFB
+		if err := parsed.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketize(b *testing.B) {
+	p := NewPacketizer(1, 96, 1200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Packetize(FrameInfo{Num: uint32(i), Size: 100_000})
+	}
+}

@@ -1,0 +1,213 @@
+package rtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+)
+
+// VideoClockRate is the RTP clock rate for video (RFC 3551).
+const VideoClockRate = 90000
+
+// payloadMetaSize is the size of the per-packet payload header that carries
+// the frame identification the paper embeds visually in each frame (the QR
+// frame number and the barcode encode timestamp).
+const payloadMetaSize = 20
+
+// frame payload header flags.
+const flagKeyframe = 1 << 0
+
+// FrameInfo describes one encoded video frame handed to the packetizer.
+type FrameInfo struct {
+	// Num is the monotonically increasing frame number (the paper's QR
+	// code).
+	Num uint32
+	// EncodeTime is when encoding of the frame started (the paper's
+	// barcode), relative to the sender's epoch.
+	EncodeTime time.Duration
+	// Keyframe marks an intra-coded (I) frame.
+	Keyframe bool
+	// Size is the encoded frame size in bytes.
+	Size int
+	// RTPTime is the frame's RTP media timestamp (90 kHz).
+	RTPTime uint32
+}
+
+// Packetizer splits encoded frames into RTP packets no larger than MTU,
+// attaching the transport-wide sequence number extension to each.
+type Packetizer struct {
+	SSRC        uint32
+	PayloadType uint8
+	MTU         int
+
+	seq  uint16
+	tseq uint16
+}
+
+// NewPacketizer returns a packetizer. The initial sequence numbers start at
+// zero for reproducibility.
+func NewPacketizer(ssrc uint32, payloadType uint8, mtu int) *Packetizer {
+	if mtu < HeaderSize+16+payloadMetaSize {
+		panic("rtp: MTU too small for packetization")
+	}
+	return &Packetizer{SSRC: ssrc, PayloadType: payloadType, MTU: mtu}
+}
+
+// NextTransportSeq returns the transport-wide sequence number the next
+// produced packet will carry.
+func (p *Packetizer) NextTransportSeq() uint16 { return p.tseq }
+
+// Packetize converts one encoded frame into RTP packets. The marker bit is
+// set on the final packet of the frame.
+func (p *Packetizer) Packetize(f FrameInfo) []*Packet {
+	// Account for the worst-case header: fixed header plus the one-byte
+	// extension block carrying the 2-byte transport sequence (4 header + 3
+	// element + 1 pad = 8).
+	maxPayload := p.MTU - (HeaderSize + 8)
+	size := f.Size
+	if size < payloadMetaSize {
+		size = payloadMetaSize
+	}
+	total := (size + maxPayload - 1) / maxPayload
+	if total > 0xFFFF {
+		total = 0xFFFF
+	}
+	pkts := make([]*Packet, 0, total)
+	remaining := size
+	for i := 0; i < total; i++ {
+		chunk := remaining / (total - i) // even split, deterministic
+		if i == total-1 {
+			chunk = remaining
+		}
+		remaining -= chunk
+		if chunk < payloadMetaSize {
+			chunk = payloadMetaSize
+		}
+		meta := make([]byte, payloadMetaSize)
+		binary.BigEndian.PutUint32(meta[0:], f.Num)
+		binary.BigEndian.PutUint16(meta[4:], uint16(i))
+		binary.BigEndian.PutUint16(meta[6:], uint16(total))
+		if f.Keyframe {
+			meta[8] = flagKeyframe
+		}
+		binary.BigEndian.PutUint64(meta[12:], uint64(f.EncodeTime))
+		pkt := &Packet{
+			Header: Header{
+				Marker:         i == total-1,
+				PayloadType:    p.PayloadType,
+				SequenceNumber: p.seq,
+				Timestamp:      f.RTPTime,
+				SSRC:           p.SSRC,
+			},
+			Payload:           meta,
+			VirtualPayloadLen: chunk - payloadMetaSize,
+		}
+		pkt.Header.SetTransportSeq(p.tseq)
+		p.seq++
+		p.tseq++
+		pkts = append(pkts, pkt)
+	}
+	return pkts
+}
+
+// PacketMeta is the decoded payload header of a media packet.
+type PacketMeta struct {
+	FrameNum   uint32
+	Index      uint16
+	Total      uint16
+	Keyframe   bool
+	EncodeTime time.Duration
+}
+
+// ErrNotMedia reports a payload too short to carry the frame meta header.
+var ErrNotMedia = errors.New("rtp: payload too short for frame meta header")
+
+// ParsePacketMeta decodes the payload header from a media packet payload.
+func ParsePacketMeta(payload []byte) (PacketMeta, error) {
+	if len(payload) < payloadMetaSize {
+		return PacketMeta{}, ErrNotMedia
+	}
+	return PacketMeta{
+		FrameNum:   binary.BigEndian.Uint32(payload[0:]),
+		Index:      binary.BigEndian.Uint16(payload[4:]),
+		Total:      binary.BigEndian.Uint16(payload[6:]),
+		Keyframe:   payload[8]&flagKeyframe != 0,
+		EncodeTime: time.Duration(binary.BigEndian.Uint64(payload[12:])),
+	}, nil
+}
+
+// FrameState is the reassembly state of one frame at the receiver.
+type FrameState struct {
+	Num        uint32
+	EncodeTime time.Duration
+	Keyframe   bool
+	Total      int // packets in the frame
+	Received   int // packets received so far
+	Bytes      int // wire bytes received so far
+	// FirstArrival and LastArrival bracket the packet arrivals seen so far.
+	FirstArrival time.Duration
+	LastArrival  time.Duration
+}
+
+// Complete reports whether every packet of the frame has arrived.
+func (f *FrameState) Complete() bool { return f.Total > 0 && f.Received >= f.Total }
+
+// LossFraction returns the fraction of the frame's packets still missing.
+func (f *FrameState) LossFraction() float64 {
+	if f.Total == 0 {
+		return 1
+	}
+	miss := f.Total - f.Received
+	if miss < 0 {
+		miss = 0
+	}
+	return float64(miss) / float64(f.Total)
+}
+
+// Depacketizer reassembles frames from incoming media packets. It performs
+// no timing decisions; the jitter buffer above it decides when to release or
+// abandon frames.
+type Depacketizer struct {
+	frames map[uint32]*FrameState
+}
+
+// NewDepacketizer returns an empty reassembler.
+func NewDepacketizer() *Depacketizer {
+	return &Depacketizer{frames: make(map[uint32]*FrameState)}
+}
+
+// Push records an arrived media packet and returns the (possibly updated)
+// state of its frame. Duplicate (frame, index) detection is out of scope:
+// the emulated link does not duplicate packets.
+func (d *Depacketizer) Push(pkt *Packet, at time.Duration) (*FrameState, error) {
+	meta, err := ParsePacketMeta(pkt.Payload)
+	if err != nil {
+		return nil, err
+	}
+	fs, ok := d.frames[meta.FrameNum]
+	if !ok {
+		fs = &FrameState{
+			Num:          meta.FrameNum,
+			EncodeTime:   meta.EncodeTime,
+			Keyframe:     meta.Keyframe,
+			Total:        int(meta.Total),
+			FirstArrival: at,
+		}
+		d.frames[meta.FrameNum] = fs
+	}
+	fs.Received++
+	fs.Bytes += pkt.MarshalSize()
+	if at > fs.LastArrival {
+		fs.LastArrival = at
+	}
+	return fs, nil
+}
+
+// Frame returns the reassembly state for a frame number, or nil.
+func (d *Depacketizer) Frame(num uint32) *FrameState { return d.frames[num] }
+
+// Delete discards the reassembly state of a frame (played or abandoned).
+func (d *Depacketizer) Delete(num uint32) { delete(d.frames, num) }
+
+// Pending returns the number of frames with reassembly state.
+func (d *Depacketizer) Pending() int { return len(d.frames) }

@@ -1,0 +1,390 @@
+package rtp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		Marker:         true,
+		PayloadType:    96,
+		SequenceNumber: 12345,
+		Timestamp:      0xDEADBEEF,
+		SSRC:           0xCAFEBABE,
+		CSRC:           []uint32{1, 2, 3},
+	}
+	h.SetTransportSeq(777)
+	buf, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Header
+	n, err := g.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d bytes", n, len(buf))
+	}
+	if g.Marker != h.Marker || g.PayloadType != h.PayloadType ||
+		g.SequenceNumber != h.SequenceNumber || g.Timestamp != h.Timestamp ||
+		g.SSRC != h.SSRC || len(g.CSRC) != 3 {
+		t.Errorf("round trip mismatch: %+v vs %+v", g, h)
+	}
+	seq, ok := g.TransportSeq()
+	if !ok || seq != 777 {
+		t.Errorf("TransportSeq = %d, %v", seq, ok)
+	}
+}
+
+func TestHeaderNoExtensions(t *testing.T) {
+	h := Header{PayloadType: 96, SequenceNumber: 1, SSRC: 9}
+	buf, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != HeaderSize {
+		t.Errorf("size = %d, want %d", len(buf), HeaderSize)
+	}
+	var g Header
+	if _, err := g.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.TransportSeq(); ok {
+		t.Error("found transport seq on header without one")
+	}
+}
+
+func TestSetTransportSeqReplaces(t *testing.T) {
+	var h Header
+	h.SetTransportSeq(1)
+	h.SetTransportSeq(2)
+	if len(h.Extensions) != 1 {
+		t.Fatalf("got %d extensions, want 1", len(h.Extensions))
+	}
+	if seq, _ := h.TransportSeq(); seq != 2 {
+		t.Errorf("seq = %d, want 2", seq)
+	}
+}
+
+func TestHeaderBadVersion(t *testing.T) {
+	buf := make([]byte, HeaderSize)
+	buf[0] = 1 << 6
+	var h Header
+	if _, err := h.Unmarshal(buf); err != ErrBadVersion {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestHeaderShort(t *testing.T) {
+	var h Header
+	if _, err := h.Unmarshal(make([]byte, 5)); err != ErrShortPacket {
+		t.Errorf("err = %v, want ErrShortPacket", err)
+	}
+}
+
+func TestHeaderTruncatedExtension(t *testing.T) {
+	h := Header{PayloadType: 96}
+	h.SetTransportSeq(1)
+	buf, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Header
+	if _, err := g.Unmarshal(buf[:len(buf)-1]); err != ErrShortPacket {
+		t.Errorf("err = %v, want ErrShortPacket", err)
+	}
+}
+
+func TestExtensionValidation(t *testing.T) {
+	h := Header{Extensions: []Extension{{ID: 15, Payload: []byte{1}}}}
+	if _, err := h.Marshal(); err == nil {
+		t.Error("extension id 15 should be rejected")
+	}
+	h = Header{Extensions: []Extension{{ID: 1, Payload: nil}}}
+	if _, err := h.Marshal(); err == nil {
+		t.Error("empty extension payload should be rejected")
+	}
+	h = Header{Extensions: []Extension{{ID: 1, Payload: make([]byte, 17)}}}
+	if _, err := h.Marshal(); err == nil {
+		t.Error("17-byte extension payload should be rejected")
+	}
+}
+
+func TestTooManyCSRCs(t *testing.T) {
+	h := Header{CSRC: make([]uint32, 16)}
+	if _, err := h.Marshal(); err == nil {
+		t.Error("16 CSRCs should be rejected")
+	}
+}
+
+func TestPacketRoundTripWithPadding(t *testing.T) {
+	p := Packet{
+		Header:  Header{PayloadType: 96, SequenceNumber: 7, SSRC: 1},
+		Payload: []byte{1, 2, 3, 4},
+		PadLen:  5,
+	}
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != p.MarshalSize() {
+		t.Errorf("wire size %d != MarshalSize %d", len(buf), p.MarshalSize())
+	}
+	var g Packet
+	if err := g.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(g.Payload, p.Payload) {
+		t.Errorf("payload = %v, want %v", g.Payload, p.Payload)
+	}
+	if g.PadLen != 5 {
+		t.Errorf("PadLen = %d, want 5", g.PadLen)
+	}
+}
+
+func TestPacketVirtualPayload(t *testing.T) {
+	p := Packet{
+		Header:            Header{PayloadType: 96, SSRC: 1},
+		Payload:           []byte{9, 9},
+		VirtualPayloadLen: 1000,
+	}
+	if p.MarshalSize() != HeaderSize+2+1000 {
+		t.Errorf("MarshalSize = %d", p.MarshalSize())
+	}
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != p.MarshalSize() {
+		t.Errorf("wire length %d != %d", len(buf), p.MarshalSize())
+	}
+	var g Packet
+	if err := g.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Virtual bytes materialize as real payload on the other side.
+	if len(g.Payload) != 1002 {
+		t.Errorf("payload length = %d, want 1002", len(g.Payload))
+	}
+}
+
+func TestPacketPadTooLarge(t *testing.T) {
+	p := Packet{PadLen: 256}
+	if _, err := p.Marshal(); err == nil {
+		t.Error("PadLen 256 should be rejected")
+	}
+}
+
+func TestPacketInvalidPadCount(t *testing.T) {
+	h := Header{Padding: true, PayloadType: 96}
+	buf, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, 0) // pad count 0 is invalid
+	var p Packet
+	if err := p.Unmarshal(buf); err == nil {
+		t.Error("pad count 0 should be rejected")
+	}
+}
+
+// Property: header marshal/unmarshal round-trips for arbitrary field values.
+func TestPropertyHeaderRoundTrip(t *testing.T) {
+	f := func(marker bool, pt uint8, seq uint16, ts, ssrc uint32, tseq uint16) bool {
+		h := Header{
+			Marker:         marker,
+			PayloadType:    pt & 0x7F,
+			SequenceNumber: seq,
+			Timestamp:      ts,
+			SSRC:           ssrc,
+		}
+		h.SetTransportSeq(tseq)
+		buf, err := h.Marshal()
+		if err != nil {
+			return false
+		}
+		var g Header
+		if _, err := g.Unmarshal(buf); err != nil {
+			return false
+		}
+		got, ok := g.TransportSeq()
+		return ok && got == tseq &&
+			g.Marker == h.Marker && g.PayloadType == h.PayloadType &&
+			g.SequenceNumber == seq && g.Timestamp == ts && g.SSRC == ssrc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: unmarshalling arbitrary bytes never panics.
+func TestPropertyUnmarshalNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		var h Header
+		_, _ = h.Unmarshal(data)
+		var p Packet
+		_ = p.Unmarshal(data)
+		var tw TWCC
+		_ = tw.Unmarshal(data)
+		var cc CCFB
+		_ = cc.Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketizeSingleSmallFrame(t *testing.T) {
+	p := NewPacketizer(1, 96, 1200)
+	pkts := p.Packetize(FrameInfo{Num: 1, EncodeTime: time.Second, Keyframe: true, Size: 100, RTPTime: 90000})
+	if len(pkts) != 1 {
+		t.Fatalf("got %d packets, want 1", len(pkts))
+	}
+	if !pkts[0].Header.Marker {
+		t.Error("single packet should carry the marker")
+	}
+	meta, err := ParsePacketMeta(pkts[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.FrameNum != 1 || !meta.Keyframe || meta.EncodeTime != time.Second || meta.Total != 1 {
+		t.Errorf("meta = %+v", meta)
+	}
+}
+
+func TestPacketizeLargeFrame(t *testing.T) {
+	p := NewPacketizer(1, 96, 1200)
+	const frameSize = 100_000
+	pkts := p.Packetize(FrameInfo{Num: 7, Size: frameSize})
+	if len(pkts) < 80 {
+		t.Fatalf("got %d packets for a 100 KB frame at MTU 1200", len(pkts))
+	}
+	totalWire := 0
+	for i, pkt := range pkts {
+		if pkt.MarshalSize() > 1200 {
+			t.Errorf("packet %d exceeds MTU: %d", i, pkt.MarshalSize())
+		}
+		if got := pkt.Header.Marker; got != (i == len(pkts)-1) {
+			t.Errorf("packet %d marker = %v", i, got)
+		}
+		if _, ok := pkt.Header.TransportSeq(); !ok {
+			t.Errorf("packet %d missing transport seq", i)
+		}
+		meta, err := ParsePacketMeta(pkt.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(meta.Index) != i || int(meta.Total) != len(pkts) {
+			t.Errorf("packet %d meta index/total = %d/%d", i, meta.Index, meta.Total)
+		}
+		totalWire += len(pkt.Payload) + pkt.VirtualPayloadLen
+	}
+	if totalWire != frameSize {
+		t.Errorf("sum of payloads = %d, want %d", totalWire, frameSize)
+	}
+}
+
+func TestPacketizerSequencesIncrease(t *testing.T) {
+	p := NewPacketizer(1, 96, 1200)
+	a := p.Packetize(FrameInfo{Num: 1, Size: 5000})
+	b := p.Packetize(FrameInfo{Num: 2, Size: 5000})
+	lastSeq := a[len(a)-1].Header.SequenceNumber
+	if b[0].Header.SequenceNumber != lastSeq+1 {
+		t.Errorf("sequence not continuous across frames: %d then %d", lastSeq, b[0].Header.SequenceNumber)
+	}
+	at, _ := a[len(a)-1].Header.TransportSeq()
+	bt, _ := b[0].Header.TransportSeq()
+	if bt != at+1 {
+		t.Errorf("transport seq not continuous: %d then %d", at, bt)
+	}
+}
+
+// Property: packetizer conserves frame size and stays under MTU for any size.
+func TestPropertyPacketizeConservation(t *testing.T) {
+	f := func(size uint32) bool {
+		sz := int(size % 2_000_000)
+		p := NewPacketizer(1, 96, 1200)
+		pkts := p.Packetize(FrameInfo{Num: 1, Size: sz})
+		sum := 0
+		for _, pkt := range pkts {
+			if pkt.MarshalSize() > 1200 {
+				return false
+			}
+			sum += len(pkt.Payload) + pkt.VirtualPayloadLen
+		}
+		want := sz
+		if want < payloadMetaSize {
+			want = payloadMetaSize
+		}
+		return sum >= want && sum <= want+len(pkts)*payloadMetaSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepacketizerReassembly(t *testing.T) {
+	p := NewPacketizer(1, 96, 1200)
+	pkts := p.Packetize(FrameInfo{Num: 3, EncodeTime: 5 * time.Second, Size: 4000})
+	d := NewDepacketizer()
+	var fs *FrameState
+	for i, pkt := range pkts {
+		var err error
+		fs, err = d.Push(pkt, time.Duration(i)*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !fs.Complete() {
+		t.Error("frame should be complete")
+	}
+	if fs.EncodeTime != 5*time.Second || fs.Num != 3 {
+		t.Errorf("frame meta = %+v", fs)
+	}
+	if fs.FirstArrival != 0 || fs.LastArrival != time.Duration(len(pkts)-1)*time.Millisecond {
+		t.Errorf("arrival bracket = %v..%v", fs.FirstArrival, fs.LastArrival)
+	}
+	if fs.LossFraction() != 0 {
+		t.Errorf("LossFraction = %v", fs.LossFraction())
+	}
+	d.Delete(3)
+	if d.Pending() != 0 {
+		t.Errorf("Pending = %d after Delete", d.Pending())
+	}
+}
+
+func TestDepacketizerPartialFrame(t *testing.T) {
+	p := NewPacketizer(1, 96, 1200)
+	pkts := p.Packetize(FrameInfo{Num: 9, Size: 4000})
+	d := NewDepacketizer()
+	// Drop the middle packet.
+	for i, pkt := range pkts {
+		if i == 1 {
+			continue
+		}
+		if _, err := d.Push(pkt, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := d.Frame(9)
+	if fs == nil || fs.Complete() {
+		t.Fatal("frame with a missing packet must not be complete")
+	}
+	want := 1.0 / float64(len(pkts))
+	if got := fs.LossFraction(); got != want {
+		t.Errorf("LossFraction = %v, want %v", got, want)
+	}
+}
+
+func TestDepacketizerRejectsNonMedia(t *testing.T) {
+	d := NewDepacketizer()
+	pkt := &Packet{Payload: []byte{1, 2, 3}}
+	if _, err := d.Push(pkt, 0); err != ErrNotMedia {
+		t.Errorf("err = %v, want ErrNotMedia", err)
+	}
+}

@@ -1,0 +1,330 @@
+package rtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// deltaUnit is the resolution of TWCC receive deltas (250 µs).
+const deltaUnit = 250 * time.Microsecond
+
+// refTimeUnit is the resolution of the 24-bit TWCC reference time (64 ms).
+const refTimeUnit = 64 * time.Millisecond
+
+// Arrival describes the receive status of one transport-wide sequence
+// number, used both to build and to interpret TWCC feedback.
+type Arrival struct {
+	Received bool
+	// At is the arrival time relative to the receiver's epoch. It is
+	// meaningful only when Received is true. Round-trips through the wire
+	// format quantize it to 250 µs.
+	At time.Duration
+}
+
+// TWCC is a transport-wide congestion control feedback packet
+// (draft-holmer-rmcat-transport-wide-cc-extensions-01). Packets describes
+// consecutive transport sequence numbers starting at BaseSeq.
+type TWCC struct {
+	SenderSSRC uint32
+	MediaSSRC  uint32
+	BaseSeq    uint16
+	FbPktCount uint8
+	Packets    []Arrival
+}
+
+// Packet status symbols.
+const (
+	symNotReceived = 0
+	symSmallDelta  = 1
+	symLargeDelta  = 2
+)
+
+var errDeltaOverflow = errors.New("rtp: twcc receive delta exceeds 16-bit range; send feedback more often")
+
+// symbols computes the per-packet status symbols and receive deltas (in
+// 250 µs ticks) for the feedback, together with the reference time.
+func (f *TWCC) symbols() (refTime time.Duration, syms []uint8, deltas []int32, err error) {
+	syms = make([]uint8, len(f.Packets))
+	prev := time.Duration(-1)
+	for i, p := range f.Packets {
+		if !p.Received {
+			syms[i] = symNotReceived
+			continue
+		}
+		if prev < 0 {
+			// Reference time: first received arrival rounded down to 64 ms.
+			refTime = p.At / refTimeUnit * refTimeUnit
+			prev = refTime
+		}
+		delta := (p.At - prev) / deltaUnit
+		prev += delta * deltaUnit
+		if delta >= 0 && delta <= 255 {
+			syms[i] = symSmallDelta
+		} else if delta >= -32768 && delta <= 32767 {
+			syms[i] = symLargeDelta
+		} else {
+			return 0, nil, nil, errDeltaOverflow
+		}
+		deltas = append(deltas, int32(delta))
+	}
+	return refTime, syms, deltas, nil
+}
+
+// encodeChunks packs status symbols into 16-bit packet status chunks using
+// run-length chunks for uniform runs and two-bit status-vector chunks
+// otherwise.
+func encodeChunks(syms []uint8) []uint16 {
+	var chunks []uint16
+	for i := 0; i < len(syms); {
+		run := 1
+		for i+run < len(syms) && syms[i+run] == syms[i] && run < 8191 {
+			run++
+		}
+		if run >= 7 || i+run == len(syms) {
+			// Run-length chunk: 0 | S(2) | run(13).
+			chunks = append(chunks, uint16(syms[i])<<13|uint16(run))
+			i += run
+			continue
+		}
+		// Two-bit status vector chunk: 1 | 1 | 7 × S(2). Trailing positions
+		// beyond the symbol list encode as not-received; the decoder stops
+		// at the packet status count.
+		var c uint16 = 1<<15 | 1<<14
+		for j := 0; j < 7; j++ {
+			var s uint16
+			if i+j < len(syms) {
+				s = uint16(syms[i+j])
+			}
+			c |= s << (12 - 2*j)
+		}
+		chunks = append(chunks, c)
+		i += 7
+	}
+	return chunks
+}
+
+// Marshal serializes the feedback packet.
+func (f *TWCC) Marshal() ([]byte, error) {
+	if len(f.Packets) == 0 {
+		return nil, errors.New("rtp: twcc feedback with no packets")
+	}
+	if len(f.Packets) > 0xFFFF {
+		return nil, fmt.Errorf("rtp: twcc feedback covers %d packets, max 65535", len(f.Packets))
+	}
+	refTime, syms, deltas, err := f.symbols()
+	if err != nil {
+		return nil, err
+	}
+	chunks := encodeChunks(syms)
+
+	deltaBytes := 0
+	di := 0
+	for _, s := range syms {
+		switch s {
+		case symSmallDelta:
+			deltaBytes++
+			di++
+		case symLargeDelta:
+			deltaBytes += 2
+			di++
+		}
+	}
+	size := rtcpHeaderSize + 8 + 8 + 2*len(chunks) + deltaBytes
+	pad := 0
+	if rem := size % 4; rem != 0 {
+		pad = 4 - rem
+		size += pad
+	}
+	buf := make([]byte, size)
+	hdr := rtcpHeader{Fmt: FmtTWCC, Type: TypeTransportFeedback, Length: wordLength(size)}
+	if err := hdr.marshalTo(buf); err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(buf[4:], f.SenderSSRC)
+	binary.BigEndian.PutUint32(buf[8:], f.MediaSSRC)
+	binary.BigEndian.PutUint16(buf[12:], f.BaseSeq)
+	binary.BigEndian.PutUint16(buf[14:], uint16(len(f.Packets)))
+	ref24 := uint32(refTime/refTimeUnit) & 0xFFFFFF
+	buf[16] = byte(ref24 >> 16)
+	buf[17] = byte(ref24 >> 8)
+	buf[18] = byte(ref24)
+	buf[19] = f.FbPktCount
+	off := 20
+	for _, c := range chunks {
+		binary.BigEndian.PutUint16(buf[off:], c)
+		off += 2
+	}
+	di = 0
+	for _, s := range syms {
+		switch s {
+		case symSmallDelta:
+			buf[off] = byte(deltas[di])
+			off++
+			di++
+		case symLargeDelta:
+			binary.BigEndian.PutUint16(buf[off:], uint16(int16(deltas[di])))
+			off += 2
+			di++
+		}
+	}
+	return buf, nil
+}
+
+// Unmarshal parses a TWCC feedback packet, reconstructing per-packet arrival
+// times relative to the receiver epoch (quantized to 250 µs).
+func (f *TWCC) Unmarshal(buf []byte) error {
+	var hdr rtcpHeader
+	if err := hdr.unmarshal(buf); err != nil {
+		return err
+	}
+	if hdr.Type != TypeTransportFeedback || hdr.Fmt != FmtTWCC {
+		return fmt.Errorf("rtp: not a twcc packet (pt=%d fmt=%d)", hdr.Type, hdr.Fmt)
+	}
+	want := (int(hdr.Length) + 1) * 4
+	if len(buf) < want {
+		return ErrShortPacket
+	}
+	buf = buf[:want]
+	if len(buf) < 20 {
+		return ErrShortPacket
+	}
+	f.SenderSSRC = binary.BigEndian.Uint32(buf[4:])
+	f.MediaSSRC = binary.BigEndian.Uint32(buf[8:])
+	f.BaseSeq = binary.BigEndian.Uint16(buf[12:])
+	count := int(binary.BigEndian.Uint16(buf[14:]))
+	ref24 := uint32(buf[16])<<16 | uint32(buf[17])<<8 | uint32(buf[18])
+	refTime := time.Duration(ref24) * refTimeUnit
+	f.FbPktCount = buf[19]
+
+	// Decode status chunks.
+	syms := make([]uint8, 0, count)
+	off := 20
+	for len(syms) < count {
+		if off+2 > len(buf) {
+			return ErrShortPacket
+		}
+		c := binary.BigEndian.Uint16(buf[off:])
+		off += 2
+		if c>>15 == 0 { // run length
+			sym := uint8(c >> 13 & 0x3)
+			run := int(c & 0x1FFF)
+			for i := 0; i < run && len(syms) < count; i++ {
+				syms = append(syms, sym)
+			}
+		} else if c>>14&1 == 0 { // one-bit vector: 14 symbols
+			for i := 0; i < 14 && len(syms) < count; i++ {
+				syms = append(syms, uint8(c>>(13-i)&1))
+			}
+		} else { // two-bit vector: 7 symbols
+			for i := 0; i < 7 && len(syms) < count; i++ {
+				syms = append(syms, uint8(c>>(12-2*i)&0x3))
+			}
+		}
+	}
+
+	// Decode deltas and reconstruct arrival times.
+	f.Packets = f.Packets[:0]
+	at := refTime
+	for _, s := range syms {
+		switch s {
+		case symNotReceived:
+			f.Packets = append(f.Packets, Arrival{})
+		case symSmallDelta:
+			if off+1 > len(buf) {
+				return ErrShortPacket
+			}
+			at += time.Duration(buf[off]) * deltaUnit
+			off++
+			f.Packets = append(f.Packets, Arrival{Received: true, At: at})
+		case symLargeDelta:
+			if off+2 > len(buf) {
+				return ErrShortPacket
+			}
+			at += time.Duration(int16(binary.BigEndian.Uint16(buf[off:]))) * deltaUnit
+			off += 2
+			f.Packets = append(f.Packets, Arrival{Received: true, At: at})
+		default:
+			return fmt.Errorf("rtp: reserved twcc status symbol %d", s)
+		}
+	}
+	return nil
+}
+
+// TWCCRecorder runs at the receiver: it records the arrival (and observes
+// the loss) of transport-wide sequence numbers and periodically flushes them
+// into feedback packets covering the contiguous range since the last flush.
+type TWCCRecorder struct {
+	SenderSSRC uint32
+	MediaSSRC  uint32
+
+	started  bool
+	nextSeq  uint16 // first sequence number of the next feedback range
+	arrivals map[uint16]time.Duration
+	lastSeq  uint16 // highest sequence number seen (unwrapped ordering)
+	fbCount  uint8
+}
+
+// NewTWCCRecorder returns a recorder producing feedback with the given SSRCs.
+func NewTWCCRecorder(senderSSRC, mediaSSRC uint32) *TWCCRecorder {
+	return &TWCCRecorder{
+		SenderSSRC: senderSSRC,
+		MediaSSRC:  mediaSSRC,
+		arrivals:   make(map[uint16]time.Duration),
+	}
+}
+
+// seqLess reports whether a precedes b in RFC 1982 serial-number order.
+func seqLess(a, b uint16) bool {
+	return a != b && b-a < 0x8000
+}
+
+// Record notes the arrival of transport sequence number seq at time at.
+func (r *TWCCRecorder) Record(seq uint16, at time.Duration) {
+	if !r.started {
+		r.started = true
+		r.nextSeq = seq
+		r.lastSeq = seq
+	} else if seqLess(seq, r.nextSeq) {
+		// Arrived after its range was already flushed; it was reported as
+		// lost and is not re-reported.
+		return
+	} else if seqLess(r.lastSeq, seq) {
+		r.lastSeq = seq
+	}
+	if _, dup := r.arrivals[seq]; !dup {
+		r.arrivals[seq] = at
+	}
+}
+
+// Flush builds a feedback packet covering [nextSeq, lastSeq] and resets the
+// range. It returns nil when there is nothing to report.
+func (r *TWCCRecorder) Flush() *TWCC {
+	if !r.started {
+		return nil
+	}
+	n := int(r.lastSeq-r.nextSeq) + 1
+	if n <= 0 || len(r.arrivals) == 0 {
+		return nil
+	}
+	fb := &TWCC{
+		SenderSSRC: r.SenderSSRC,
+		MediaSSRC:  r.MediaSSRC,
+		BaseSeq:    r.nextSeq,
+		FbPktCount: r.fbCount,
+	}
+	r.fbCount++
+	seq := r.nextSeq
+	for i := 0; i < n; i++ {
+		if at, ok := r.arrivals[seq]; ok {
+			fb.Packets = append(fb.Packets, Arrival{Received: true, At: at})
+			delete(r.arrivals, seq)
+		} else {
+			fb.Packets = append(fb.Packets, Arrival{})
+		}
+		seq++
+	}
+	r.nextSeq = seq
+	return fb
+}

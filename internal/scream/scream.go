@@ -1,0 +1,442 @@
+// Package scream implements Self-Clocked Rate Adaptation for Multimedia
+// (Johansson, "Self-Clocked Rate Adaptation for Conversational Video in
+// LTE", and RFC 8298), the second congestion controller the paper evaluates.
+//
+// SCReAM is window-based: a LEDBAT-style congestion window reacts to the
+// estimated queuing delay, bytes in flight are limited to the window
+// (self-clocking), and the media target rate follows the window while also
+// reacting to the RTP send-queue delay. The send queue is discarded when it
+// grows older than its age limit — the behaviour the paper observes causing
+// large jumps of the highest received RTP sequence number (§4.2.1).
+//
+// Feedback arrives as RFC 8888 reports. Packets that fall out of the
+// feedback ack window without ever being acknowledged are declared lost —
+// with the Ericsson library's 64-packet window this manufactures spurious
+// losses above ≈7 Mbps, the defect the paper diagnoses; a 256-packet window
+// largely avoids it.
+package scream
+
+import (
+	"time"
+
+	"rpivideo/internal/cc"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// InitialRate, MinRate, MaxRate bound the media target in bits/s
+	// (defaults 2, 2 and 25 Mbps — the paper's encoder range).
+	InitialRate float64
+	MinRate     float64
+	MaxRate     float64
+	// QDelayTarget is the queuing-delay setpoint (60 ms if zero).
+	QDelayTarget time.Duration
+	// RampUpSpeed limits additive rate increase in bits/s per second
+	// (1 Mbps/s if zero — yielding the paper's ≈25 s ramp to 25 Mbps).
+	RampUpSpeed float64
+	// QueueDiscardAge is the RTP send-queue age beyond which the queue is
+	// discarded (100 ms if zero, per §4.2.1).
+	QueueDiscardAge time.Duration
+	// QueueGrowthLimit is the send-queue delay above which the congestion
+	// window stops growing (300 ms if zero, per the paper's description).
+	QueueGrowthLimit time.Duration
+	// MSS is the maximum segment size in bytes (1200 if zero).
+	MSS int
+}
+
+func (c *Config) defaults() {
+	if c.MinRate == 0 {
+		c.MinRate = 2e6
+	}
+	if c.MaxRate == 0 {
+		c.MaxRate = 25e6
+	}
+	if c.InitialRate == 0 {
+		c.InitialRate = c.MinRate
+	}
+	if c.QDelayTarget == 0 {
+		c.QDelayTarget = 60 * time.Millisecond
+	}
+	if c.RampUpSpeed == 0 {
+		c.RampUpSpeed = 1e6
+	}
+	if c.QueueDiscardAge == 0 {
+		c.QueueDiscardAge = 100 * time.Millisecond
+	}
+	if c.QueueGrowthLimit == 0 {
+		c.QueueGrowthLimit = 300 * time.Millisecond
+	}
+	if c.MSS == 0 {
+		c.MSS = 1200
+	}
+}
+
+// gain constants (RFC 8298 §4.1.2 flavour).
+const (
+	gainUp       = 1.0
+	lossBeta     = 0.9
+	queueBeta    = 0.9  // target scale on send-queue pressure
+	lossRateBeta = 0.95 // target scale on loss events (cwnd does the real work)
+	pacingHead   = 1.25 // pacing headroom over the target
+	// rateHeadroom keeps the media target below what the window sustains,
+	// so transient capacity dips land in the congestion window rather than
+	// the RTP queue (whose discard drops whole frames).
+	rateHeadroom = 0.85
+)
+
+// inflightPkt is the sender-side record of an unacknowledged packet.
+type inflightPkt struct {
+	seq      uint16
+	size     int
+	sendTime time.Duration
+}
+
+// owdSample supports the windowed base-delay minimum.
+type owdSample struct {
+	at  time.Duration
+	owd time.Duration
+}
+
+// Controller implements cc.Controller with SCReAM.
+type Controller struct {
+	cfg Config
+
+	cwnd          float64 // bytes
+	bytesInFlight int
+	inflight      map[uint16]inflightPkt
+
+	// One-way-delay tracking. The raw OWD includes the unknown clock
+	// offset; the queuing delay is its excess over the windowed minimum.
+	baseWindow []owdSample
+	qdelay     time.Duration // EWMA of the queuing delay
+
+	srtt time.Duration
+
+	target         float64
+	lastRateAdjust time.Duration
+	lastLossAt     time.Duration
+	started        bool
+
+	queue *cc.SendQueue
+
+	// Counters exposed for experiments and traces.
+	Losses        int // packets declared lost (includes spurious ones)
+	LossesInBand  int // losses detected inside a report (hole below highest)
+	LossesWindow  int // losses from packets falling below the ack window
+	QueueDiscards int // queue-discard events
+}
+
+var _ cc.Controller = (*Controller)(nil)
+var _ cc.QueueAware = (*Controller)(nil)
+
+// New returns a SCReAM controller.
+func New(cfg Config) *Controller {
+	cfg.defaults()
+	srtt := 100 * time.Millisecond
+	c := &Controller{
+		cfg:      cfg,
+		inflight: make(map[uint16]inflightPkt),
+		srtt:     srtt,
+		target:   cfg.InitialRate,
+		qdelay:   0,
+	}
+	// Initial window sized so the initial rate is sendable at the assumed
+	// RTT.
+	c.cwnd = cfg.InitialRate / 8 * srtt.Seconds()
+	if c.cwnd < float64(2*cfg.MSS) {
+		c.cwnd = float64(2 * cfg.MSS)
+	}
+	return c
+}
+
+// Name implements cc.Controller.
+func (c *Controller) Name() string { return "scream" }
+
+// SetQueue implements cc.QueueAware.
+func (c *Controller) SetQueue(q *cc.SendQueue) { c.queue = q }
+
+// TargetBitrate implements cc.Controller.
+func (c *Controller) TargetBitrate(time.Duration) float64 { return c.target }
+
+// PacingRate implements cc.Controller: the window per RTT, with headroom,
+// but never slower than the target (so a freshly grown queue can drain) and
+// never beyond 1.5× the rate ceiling (an inflated RTT estimate after an
+// outage must not turn the pacer into a firehose).
+func (c *Controller) PacingRate(time.Duration) float64 {
+	cwndRate := c.cwnd * 8 / c.boundedSRTT().Seconds()
+	r := c.target
+	if cwndRate > r {
+		r = cwndRate
+	}
+	r *= pacingHead
+	if max := 1.5 * c.cfg.MaxRate; r > max {
+		r = max
+	}
+	return r
+}
+
+// boundedSRTT caps the smoothed RTT used for window/rate conversions:
+// outage-inflated samples otherwise balloon the window far beyond what the
+// feedback ack range covers, manufacturing spurious losses.
+func (c *Controller) boundedSRTT() time.Duration {
+	if c.srtt > 200*time.Millisecond {
+		return 200 * time.Millisecond
+	}
+	return c.srtt
+}
+
+// CanSend implements cc.Controller: self-clocking against the window. A
+// 25 % margin lets encoder bursts (I-frames) flow into the network's deep
+// buffer instead of ageing out of the RTP queue.
+func (c *Controller) CanSend(_ time.Duration, size int) bool {
+	return float64(c.bytesInFlight+size) <= 1.25*c.cwnd
+}
+
+// CWND returns the congestion window in bytes (for traces and tests).
+func (c *Controller) CWND() float64 { return c.cwnd }
+
+// BytesInFlight returns the unacknowledged bytes.
+func (c *Controller) BytesInFlight() int { return c.bytesInFlight }
+
+// QDelay returns the smoothed queuing-delay estimate.
+func (c *Controller) QDelay() time.Duration { return c.qdelay }
+
+// SRTT returns the smoothed round-trip estimate.
+func (c *Controller) SRTT() time.Duration { return c.srtt }
+
+// OnPacketSent implements cc.Controller.
+func (c *Controller) OnPacketSent(p cc.SentPacket) {
+	c.inflight[p.Seq] = inflightPkt{seq: p.Seq, size: p.Size, sendTime: p.SendTime}
+	c.bytesInFlight += p.Size
+}
+
+// seqLess reports whether a precedes b in serial-number order.
+func seqLess(a, b uint16) bool { return a != b && b-a < 0x8000 }
+
+// updateOWD folds one (send, arrival) pair into the base/queuing delay
+// estimators and returns the instantaneous queuing delay.
+func (c *Controller) updateOWD(now time.Duration, sendTime, arrival time.Duration) time.Duration {
+	owd := arrival - sendTime
+	const baseWindowLen = 10 * time.Second
+	c.baseWindow = append(c.baseWindow, owdSample{at: now, owd: owd})
+	i := 0
+	for i < len(c.baseWindow) && now-c.baseWindow[i].at > baseWindowLen {
+		i++
+	}
+	c.baseWindow = c.baseWindow[i:]
+	base := c.baseWindow[0].owd
+	for _, s := range c.baseWindow[1:] {
+		if s.owd < base {
+			base = s.owd
+		}
+	}
+	q := owd - base
+	if q < 0 {
+		q = 0
+	}
+	// EWMA with 1/8 gain.
+	c.qdelay = (c.qdelay*7 + q) / 8
+	return q
+}
+
+// OnFeedback implements cc.Controller: it ingests one RFC 8888 report,
+// translated by the transport into acks covering the report's sequence
+// range (acks[0].Seq is the report's begin_seq).
+func (c *Controller) OnFeedback(now time.Duration, acks []cc.Ack) {
+	if len(acks) == 0 {
+		return
+	}
+	c.started = true
+	bytesAcked := 0
+	lossDetected := false
+	var highestAcked uint16
+	haveHighest := false
+
+	for _, a := range acks {
+		pkt, known := c.inflight[a.Seq]
+		if !a.Received {
+			continue
+		}
+		if !haveHighest || seqLess(highestAcked, a.Seq) {
+			highestAcked = a.Seq
+			haveHighest = true
+		}
+		if !known {
+			continue // already acked in an earlier overlapping report
+		}
+		delete(c.inflight, a.Seq)
+		c.bytesInFlight -= pkt.size
+		bytesAcked += pkt.size
+		// RTT sample: feedback arrival minus packet departure.
+		if s := now - pkt.sendTime; s > 0 {
+			c.srtt = (c.srtt*7 + s) / 8
+		}
+		c.updateOWD(now, pkt.sendTime, a.ArrivalTime)
+	}
+
+	// Loss detection 1: a packet inside the report marked not-received
+	// while a clearly later one was received. The margin tolerates the
+	// mild reordering cellular links produce.
+	const reorderMargin = 8
+	if haveHighest {
+		for _, a := range acks {
+			if a.Received || !seqLess(a.Seq+reorderMargin, highestAcked) {
+				continue
+			}
+			// The age guard keeps jitter-displaced packets (which arrive
+			// moments later) from being declared lost: a packet must be
+			// well past the feedback round trip before a hole below the
+			// highest ack means anything.
+			lossAge := c.srtt*3/2 + 20*time.Millisecond
+			if pkt, known := c.inflight[a.Seq]; known && now-pkt.sendTime > lossAge {
+				delete(c.inflight, a.Seq)
+				c.bytesInFlight -= pkt.size
+				c.Losses++
+				c.LossesInBand++
+				lossDetected = true
+			}
+		}
+	}
+
+	// Loss detection 2: packets older than the report's begin_seq can never
+	// be acknowledged again — the ack-window defect manufactures losses
+	// here at high rates.
+	begin := acks[0].Seq
+	for seq, pkt := range c.inflight {
+		if seqLess(seq, begin) {
+			delete(c.inflight, seq)
+			c.bytesInFlight -= pkt.size
+			c.Losses++
+			c.LossesWindow++
+			lossDetected = true
+		}
+	}
+	if c.bytesInFlight < 0 {
+		c.bytesInFlight = 0
+	}
+
+	lossReacted := c.updateCWND(now, bytesAcked, lossDetected)
+	c.adjustRate(now, lossReacted)
+	c.manageQueue(now)
+}
+
+// updateCWND applies the LEDBAT-style window update and reports whether a
+// loss event was acted upon (at most once per RTT).
+func (c *Controller) updateCWND(now time.Duration, bytesAcked int, lossDetected bool) bool {
+	lossReacted := false
+	if lossDetected {
+		// At most one multiplicative decrease per RTT.
+		if now-c.lastLossAt > c.srtt {
+			c.cwnd *= lossBeta
+			c.lastLossAt = now
+			lossReacted = true
+		}
+	} else if c.qdelay > 5*c.cfg.QDelayTarget/2 {
+		// Sustained queuing-delay overshoot is treated as a congestion
+		// event (RFC 8298 §4.1.2.1): a multiplicative cut, at most once
+		// per RTT, so the window tracks deep capacity dips fast enough
+		// that the RTP queue does not age out.
+		if now-c.lastLossAt > c.srtt {
+			c.cwnd *= 0.9
+			c.lastLossAt = now
+		}
+	} else if bytesAcked > 0 {
+		offTarget := float64(c.cfg.QDelayTarget-c.qdelay) / float64(c.cfg.QDelayTarget)
+		if offTarget > 1 {
+			offTarget = 1
+		} else if offTarget < -1 {
+			offTarget = -1
+		}
+		// The paper: the window grows only while the RTP queue is shorter
+		// than the growth limit.
+		queueOK := c.queue == nil || c.queue.Delay(now) < c.cfg.QueueGrowthLimit
+		if offTarget > 0 && queueOK {
+			c.cwnd += gainUp * offTarget * float64(bytesAcked) * float64(c.cfg.MSS) / c.cwnd
+		} else if offTarget < 0 {
+			c.cwnd += 2 * gainUp * offTarget * float64(bytesAcked) * float64(c.cfg.MSS) / c.cwnd
+		}
+	}
+	// Clamps: never below two segments, never far beyond what the max rate
+	// requires at the current RTT.
+	if c.cwnd < float64(2*c.cfg.MSS) {
+		c.cwnd = float64(2 * c.cfg.MSS)
+	}
+	maxCwnd := c.cfg.MaxRate / 8 * c.boundedSRTT().Seconds() * 2
+	if c.cwnd > maxCwnd {
+		c.cwnd = maxCwnd
+	}
+	return lossReacted
+}
+
+// adjustRate moves the media target toward what the window sustains.
+func (c *Controller) adjustRate(now time.Duration, lossDetected bool) {
+	const interval = 200 * time.Millisecond
+	if lossDetected {
+		c.target *= lossRateBeta
+		c.clampTarget()
+		c.lastRateAdjust = now
+		return
+	}
+	if now-c.lastRateAdjust < interval {
+		return
+	}
+	dt := (now - c.lastRateAdjust).Seconds()
+	if dt > 1 {
+		dt = 1
+	}
+	c.lastRateAdjust = now
+
+	cwndRate := c.cwnd * 8 / c.boundedSRTT().Seconds() * rateHeadroom
+	queueDelay := time.Duration(0)
+	if c.queue != nil {
+		queueDelay = c.queue.Delay(now)
+	}
+	switch {
+	case queueDelay > c.cfg.QueueDiscardAge/2:
+		// The window cannot push the media out: scale the rate down.
+		c.target *= queueBeta
+	case c.target < cwndRate:
+		// Headroom: ramp up, limited by the configured speed. The limit
+		// scales with the rate so recovery from a dip at high rates does
+		// not take the whole flight, and widens further when the window
+		// clearly sustains more (SCReAM's fast-increase mode).
+		ramp := c.cfg.RampUpSpeed * dt
+		if scaled := c.target / 10e6 * c.cfg.RampUpSpeed * dt; scaled > ramp {
+			ramp = scaled
+		}
+		if c.target < 0.7*cwndRate {
+			ramp *= 4
+		}
+		c.target += ramp
+		if c.target > cwndRate {
+			c.target = cwndRate
+		}
+	default:
+		// The window does not sustain the target: follow it down gently.
+		c.target = 0.9*c.target + 0.1*cwndRate
+	}
+	c.clampTarget()
+}
+
+func (c *Controller) clampTarget() {
+	if c.target < c.cfg.MinRate {
+		c.target = c.cfg.MinRate
+	} else if c.target > c.cfg.MaxRate {
+		c.target = c.cfg.MaxRate
+	}
+}
+
+// manageQueue enforces the RTP queue age limit: when the head-of-queue age
+// exceeds QueueDiscardAge, the whole queue is discarded (SCReAM's
+// quick-recovery behaviour, §4.2.1) and the target is pulled down.
+func (c *Controller) manageQueue(now time.Duration) {
+	if c.queue == nil {
+		return
+	}
+	if c.queue.Delay(now) > c.cfg.QueueDiscardAge {
+		c.queue.Clear()
+		c.QueueDiscards++
+		c.target *= queueBeta
+		c.clampTarget()
+	}
+}

@@ -1,0 +1,219 @@
+// Package sim provides a deterministic discrete-event simulator.
+//
+// All experiment code in this repository runs on virtual time owned by a
+// Simulator: events are scheduled at absolute or relative virtual times and
+// executed in order. Determinism is guaranteed by (a) a stable tie-break on
+// the scheduling sequence number and (b) named random streams derived from a
+// single master seed, so a run is a pure function of (Config, Seed).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Timer is a handle to a scheduled event. Stopping a Timer prevents its
+// callback from firing if it has not fired yet.
+type Timer struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int // heap index, -1 once popped
+}
+
+// Stop cancels the timer. It is safe to call multiple times and after the
+// timer has fired.
+func (t *Timer) Stop() {
+	if t != nil {
+		t.stopped = true
+	}
+}
+
+// Stopped reports whether Stop was called.
+func (t *Timer) Stopped() bool { return t != nil && t.stopped }
+
+// When returns the virtual time the timer is scheduled for.
+func (t *Timer) When() time.Duration { return t.at }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Simulator owns virtual time and the pending event set.
+type Simulator struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	seed    int64
+	streams map[string]*rand.Rand
+	running bool
+	stopped bool
+}
+
+// New returns a Simulator at virtual time zero whose random streams derive
+// from seed.
+func New(seed int64) *Simulator {
+	return &Simulator{seed: seed, streams: make(map[string]*rand.Rand)}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Seed returns the master seed the simulator was created with.
+func (s *Simulator) Seed() int64 { return s.seed }
+
+// Stream returns a deterministic random stream identified by name. The same
+// (seed, name) pair always yields the same sequence, independent of the order
+// in which streams are created or used relative to one another.
+func (s *Simulator) Stream(name string) *rand.Rand {
+	if r, ok := s.streams[name]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", s.seed, name)
+	r := rand.New(rand.NewSource(int64(h.Sum64())))
+	s.streams[name] = r
+	return r
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// (or present) runs the event at the current time, after already-pending
+// events for that time.
+func (s *Simulator) At(at time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	t := &Timer{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, t)
+	return t
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Simulator) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Task is a handle to a periodic task.
+type Task struct {
+	sim      *Simulator
+	interval time.Duration
+	fn       func()
+	timer    *Timer
+	stopped  bool
+}
+
+// Stop cancels all future firings of the task.
+func (t *Task) Stop() {
+	if t == nil || t.stopped {
+		return
+	}
+	t.stopped = true
+	t.timer.Stop()
+}
+
+func (t *Task) fire() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if t.stopped { // fn may stop the task
+		return
+	}
+	t.timer = t.sim.After(t.interval, t.fire)
+}
+
+// Every schedules fn to run first at start and then every interval until the
+// returned Task is stopped.
+func (s *Simulator) Every(start, interval time.Duration, fn func()) *Task {
+	if interval <= 0 {
+		panic("sim: Every requires a positive interval")
+	}
+	t := &Task{sim: s, interval: interval, fn: fn}
+	t.timer = s.At(start, t.fire)
+	return t
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Pending returns the number of scheduled (possibly stopped) events.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// step executes the next pending event; it reports false when none remain.
+func (s *Simulator) step(limit time.Duration, bounded bool) bool {
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if bounded && next.at > limit {
+			return false
+		}
+		heap.Pop(&s.events)
+		if next.stopped {
+			continue
+		}
+		s.now = next.at
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain or Stop is called.
+func (s *Simulator) Run() {
+	if s.running {
+		panic("sim: Run re-entered")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped = false
+	for !s.stopped && s.step(0, false) {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ t, then advances the clock to
+// t. Events scheduled after t remain pending.
+func (s *Simulator) RunUntil(t time.Duration) {
+	if s.running {
+		panic("sim: RunUntil re-entered")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped = false
+	for !s.stopped && s.step(t, true) {
+	}
+	if t > s.now {
+		s.now = t
+	}
+}

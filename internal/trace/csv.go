@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the column set of the CSV export; one row per record, with
+// kind-specific columns left empty when not applicable — the layout the
+// paper's parsing/visualization scripts consume.
+var csvHeader = []string{
+	"t_us", "kind", "label", "seed", "duration_us",
+	"owd_us", "from", "to", "het_us", "mbps", "gap_us",
+}
+
+// WriteCSV exports records as CSV with a header row.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		row := []string{
+			strconv.FormatInt(r.TUs, 10),
+			r.Kind,
+			r.Label,
+			intField(r.Seed),
+			intField(r.DurationUs),
+			intField(r.OWDUs),
+			intField(int64(r.From)),
+			intField(int64(r.To)),
+			intField(r.HETUs),
+			floatField(r.Mbps),
+			intField(r.GapUs),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV export back into records.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	if len(rows[0]) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: csv header has %d columns, want %d", len(rows[0]), len(csvHeader))
+	}
+	recs := make([]Record, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		rec, err := csvRecord(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: %w", i+2, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func csvRecord(row []string) (Record, error) {
+	var rec Record
+	var err error
+	get := func(i int) int64 {
+		if err != nil || row[i] == "" {
+			return 0
+		}
+		var v int64
+		v, err = strconv.ParseInt(row[i], 10, 64)
+		return v
+	}
+	rec.TUs = get(0)
+	rec.Kind = row[1]
+	rec.Label = row[2]
+	rec.Seed = get(3)
+	rec.DurationUs = get(4)
+	rec.OWDUs = get(5)
+	rec.From = int(get(6))
+	rec.To = int(get(7))
+	rec.HETUs = get(8)
+	if row[9] != "" {
+		var f float64
+		f, err = strconv.ParseFloat(row[9], 64)
+		rec.Mbps = f
+	}
+	rec.GapUs = get(10)
+	return rec, err
+}
+
+func intField(v int64) string {
+	if v == 0 {
+		return ""
+	}
+	return strconv.FormatInt(v, 10)
+}
+
+func floatField(v float64) string {
+	if v == 0 {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

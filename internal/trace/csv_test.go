@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := FromResult(sampleResult(t))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+	// The CSV and JSONL views summarize identically.
+	if Summarize(got) != Summarize(recs) {
+		t.Error("summaries diverge across formats")
+	}
+}
+
+func TestCSVHeaderOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("recs=%v err=%v", got, err)
+	}
+}
+
+func TestCSVRejectsWrongColumnCount(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestCSVRejectsBadNumbers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Record{{TUs: 5, Kind: KindDrop}}); err != nil {
+		t.Fatal(err)
+	}
+	broken := strings.Replace(buf.String(), "5,drop", "x,drop", 1)
+	if _, err := ReadCSV(strings.NewReader(broken)); err == nil {
+		t.Error("non-numeric t_us accepted")
+	}
+}

@@ -1,0 +1,207 @@
+// Package trace implements the open-data workflow of the paper: measurement
+// runs export their packet, handover and video events as JSON-lines records
+// that can be written, re-read and summarized. cmd/tracegen emits synthetic
+// flight traces in this format, mirroring the dataset release the authors
+// describe in §3.2.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"rpivideo/internal/core"
+)
+
+// Record kinds.
+const (
+	KindMeta     = "meta"     // run metadata (first record)
+	KindPacket   = "packet"   // one delivered media packet
+	KindDrop     = "drop"     // one lost media packet
+	KindHandover = "handover" // one handover event
+	KindTarget   = "target"   // congestion-controller target sample
+	KindGoodput  = "goodput"  // per-second delivered rate
+	KindStall    = "stall"    // playback stall
+)
+
+// Record is one trace line. Field presence depends on Kind.
+type Record struct {
+	// TUs is the event time in microseconds since run start.
+	TUs  int64  `json:"t_us"`
+	Kind string `json:"kind"`
+
+	// Meta fields.
+	Label      string `json:"label,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	DurationUs int64  `json:"duration_us,omitempty"`
+
+	// Packet fields.
+	OWDUs int64 `json:"owd_us,omitempty"`
+
+	// Handover fields.
+	From  int   `json:"from,omitempty"`
+	To    int   `json:"to,omitempty"`
+	HETUs int64 `json:"het_us,omitempty"`
+
+	// Rate fields (target, goodput).
+	Mbps float64 `json:"mbps,omitempty"`
+
+	// Stall fields.
+	GapUs int64 `json:"gap_us,omitempty"`
+}
+
+// FromResult converts a run result into trace records. The result must have
+// been produced with Config.KeepSeries so the per-packet series exist.
+func FromResult(r *core.Result) []Record {
+	recs := []Record{{
+		Kind:       KindMeta,
+		Label:      r.Config.Label(),
+		Seed:       r.Config.Seed,
+		DurationUs: r.Duration.Microseconds(),
+	}}
+	if r.OWDSeries != nil {
+		for _, p := range r.OWDSeries.Points() {
+			recs = append(recs, Record{
+				TUs:   p.T.Microseconds(),
+				Kind:  KindPacket,
+				OWDUs: int64(p.V * 1000), // ms → µs
+			})
+		}
+	}
+	for _, at := range r.LossTimes {
+		recs = append(recs, Record{TUs: at.Microseconds(), Kind: KindDrop})
+	}
+	for _, ev := range r.Handovers {
+		recs = append(recs, Record{
+			TUs:   ev.At.Microseconds(),
+			Kind:  KindHandover,
+			From:  ev.From,
+			To:    ev.To,
+			HETUs: ev.HET.Microseconds(),
+		})
+	}
+	if r.TargetSeries != nil {
+		for _, p := range r.TargetSeries.Points() {
+			recs = append(recs, Record{TUs: p.T.Microseconds(), Kind: KindTarget, Mbps: p.V})
+		}
+	}
+	if r.GoodputSeries != nil {
+		for _, p := range r.GoodputSeries.Points() {
+			recs = append(recs, Record{TUs: p.T.Microseconds(), Kind: KindGoodput, Mbps: p.V})
+		}
+	}
+	for _, st := range r.Stalls {
+		recs = append(recs, Record{TUs: st.At.Microseconds(), Kind: KindStall, GapUs: st.Duration.Microseconds()})
+	}
+	return recs
+}
+
+// Writer emits records as JSON lines.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write emits one record.
+func (w *Writer) Write(r Record) error { return w.enc.Encode(r) }
+
+// WriteAll emits all records.
+func (w *Writer) WriteAll(recs []Record) error {
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Read parses all records from r, validating kinds.
+func Read(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		switch rec.Kind {
+		case KindMeta, KindPacket, KindDrop, KindHandover, KindTarget, KindGoodput, KindStall:
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", line, rec.Kind)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// Summary aggregates a trace the way the paper's parsing scripts do.
+type Summary struct {
+	Label     string
+	Duration  time.Duration
+	Packets   int
+	Drops     int
+	Handovers int
+	Stalls    int
+	// MeanOWD and P99OWD summarize packet delay.
+	MeanOWD time.Duration
+	MaxHET  time.Duration
+	// MeanGoodputMbps averages the per-second goodput records.
+	MeanGoodputMbps float64
+}
+
+// Summarize computes a Summary over records.
+func Summarize(recs []Record) Summary {
+	var s Summary
+	var owdSum int64
+	var gpSum float64
+	gpN := 0
+	for _, r := range recs {
+		switch r.Kind {
+		case KindMeta:
+			s.Label = r.Label
+			s.Duration = time.Duration(r.DurationUs) * time.Microsecond
+		case KindPacket:
+			s.Packets++
+			owdSum += r.OWDUs
+		case KindDrop:
+			s.Drops++
+		case KindHandover:
+			s.Handovers++
+			if het := time.Duration(r.HETUs) * time.Microsecond; het > s.MaxHET {
+				s.MaxHET = het
+			}
+		case KindGoodput:
+			gpSum += r.Mbps
+			gpN++
+		case KindStall:
+			s.Stalls++
+		}
+	}
+	if s.Packets > 0 {
+		s.MeanOWD = time.Duration(owdSum/int64(s.Packets)) * time.Microsecond
+	}
+	if gpN > 0 {
+		s.MeanGoodputMbps = gpSum / float64(gpN)
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"rpivideo/internal/cell"
+	"rpivideo/internal/core"
+)
+
+func sampleResult(t *testing.T) *core.Result {
+	t.Helper()
+	return core.Run(core.Config{
+		Env: cell.Urban, Air: true, CC: core.CCGCC,
+		Seed: 1, Duration: 20 * time.Second, KeepSeries: true,
+	})
+}
+
+func TestFromResultStructure(t *testing.T) {
+	recs := FromResult(sampleResult(t))
+	if len(recs) == 0 || recs[0].Kind != KindMeta {
+		t.Fatal("trace must start with a meta record")
+	}
+	if recs[0].Label != "urban-P1-air-gcc" {
+		t.Errorf("meta label = %q", recs[0].Label)
+	}
+	counts := map[string]int{}
+	for _, r := range recs {
+		counts[r.Kind]++
+	}
+	if counts[KindPacket] == 0 || counts[KindTarget] == 0 || counts[KindGoodput] == 0 {
+		t.Errorf("record counts = %v", counts)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	recs := FromResult(sampleResult(t))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadRejectsUnknownKind(t *testing.T) {
+	_, err := Read(strings.NewReader(`{"t_us":1,"kind":"bogus"}` + "\n"))
+	if err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	_, err := Read(strings.NewReader("not json\n"))
+	if err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	recs, err := Read(strings.NewReader("\n" + `{"t_us":1,"kind":"drop"}` + "\n\n"))
+	if err != nil || len(recs) != 1 {
+		t.Errorf("recs=%v err=%v", recs, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := sampleResult(t)
+	recs := FromResult(r)
+	s := Summarize(recs)
+	if s.Label != r.Config.Label() {
+		t.Errorf("label = %q", s.Label)
+	}
+	if s.Duration != r.Duration {
+		t.Errorf("duration = %v", s.Duration)
+	}
+	if s.Packets != r.OWDSeries.Len() {
+		t.Errorf("packets = %d, want %d", s.Packets, r.OWDSeries.Len())
+	}
+	if s.Handovers != len(r.Handovers) {
+		t.Errorf("handovers = %d, want %d", s.Handovers, len(r.Handovers))
+	}
+	if s.MeanOWD <= 0 || s.MeanOWD > time.Second {
+		t.Errorf("mean OWD = %v", s.MeanOWD)
+	}
+	if s.MeanGoodputMbps <= 0 {
+		t.Errorf("mean goodput = %v", s.MeanGoodputMbps)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Packets != 0 || s.MeanOWD != 0 || s.MeanGoodputMbps != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}

@@ -1,0 +1,145 @@
+// Package video models the paper's GStreamer/x264 pipeline: a
+// rate-controlled H.264-style encoder producing 30 FPS full-HD frames with
+// GOP structure, the sender that packetizes and paces them under a
+// congestion controller, the receiving jitter buffer and player that
+// produce the paper's video metrics (FPS, playback latency, stalls), and an
+// SSIM model mapping encoder rate and loss artifacts to frame quality.
+package video
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// EncoderConfig parameterizes the encoder model.
+type EncoderConfig struct {
+	// FPS is the source frame rate (30 in the campaign).
+	FPS int
+	// GOP is the keyframe interval in frames (one I-frame per second at 30).
+	GOP int
+	// IFrameRatio is the size of an I-frame relative to a P-frame.
+	IFrameRatio float64
+	// MinRate and MaxRate clamp the applied encoder target (2–25 Mbps).
+	MinRate, MaxRate float64
+	// ComplexitySigma is the log-normal frame-size noise from scene detail
+	// and motion (the source video "contains considerable detail and
+	// motion").
+	ComplexitySigma float64
+	// RateTau is how quickly the encoder's effective rate tracks the
+	// requested target. The campaign's x264 wrapper applied rate changes
+	// with noticeable latency — the mechanism behind §4.2.1's FPS dips:
+	// frames already encoded (and still being encoded) at the old bitrate
+	// must drain at the decreased send rate.
+	RateTau time.Duration
+}
+
+// DefaultEncoderConfig returns the campaign encoder parameters.
+func DefaultEncoderConfig() EncoderConfig {
+	return EncoderConfig{
+		FPS:             30,
+		GOP:             30,
+		IFrameRatio:     4,
+		MinRate:         2e6,
+		MaxRate:         25e6,
+		ComplexitySigma: 0.18,
+		RateTau:         500 * time.Millisecond,
+	}
+}
+
+// Frame is one encoded video frame.
+type Frame struct {
+	Num        uint32
+	Keyframe   bool
+	Size       int // encoded bytes
+	EncodeTime time.Duration
+	// Rate is the effective encoder rate the frame was encoded at; the
+	// SSIM model derives the quality ceiling from it.
+	Rate float64
+	// Complexity is the scene-complexity multiplier applied to this frame.
+	Complexity float64
+}
+
+// Encoder produces frames at a requested target bitrate.
+type Encoder struct {
+	cfg EncoderConfig
+	rng *rand.Rand
+
+	target   float64 // requested rate
+	rate     float64 // effective rate (lags the target)
+	lastTick time.Duration
+	num      uint32
+}
+
+// NewEncoder returns an encoder starting at the given target rate.
+func NewEncoder(cfg EncoderConfig, initialRate float64, rng *rand.Rand) *Encoder {
+	e := &Encoder{cfg: cfg, rng: rng, target: initialRate, rate: initialRate}
+	e.clamp()
+	return e
+}
+
+func (e *Encoder) clamp() {
+	if e.target < e.cfg.MinRate {
+		e.target = e.cfg.MinRate
+	} else if e.target > e.cfg.MaxRate {
+		e.target = e.cfg.MaxRate
+	}
+}
+
+// SetTarget requests a new encoder bitrate; the effective rate converges
+// within RateTau.
+func (e *Encoder) SetTarget(bitsPerSecond float64) {
+	e.target = bitsPerSecond
+	e.clamp()
+}
+
+// Target returns the currently requested rate.
+func (e *Encoder) Target() float64 { return e.target }
+
+// Rate returns the effective (lagged) encoder rate.
+func (e *Encoder) Rate() float64 { return e.rate }
+
+// NextFrame encodes the next frame at time now. Callers invoke it once per
+// frame interval.
+func (e *Encoder) NextFrame(now time.Duration) Frame {
+	// Track the target with a first-order lag.
+	dt := (now - e.lastTick).Seconds()
+	e.lastTick = now
+	tau := e.cfg.RateTau.Seconds()
+	if tau <= 0 {
+		e.rate = e.target
+	} else {
+		a := dt / tau
+		if a > 1 {
+			a = 1
+		}
+		e.rate += (e.target - e.rate) * a
+	}
+
+	key := e.num%uint32(e.cfg.GOP) == 0
+	// Per-frame byte budget: the GOP average equals rate/FPS/8 bytes, with
+	// I-frames IFrameRatio× the size of P-frames.
+	gop := float64(e.cfg.GOP)
+	avg := e.rate / float64(e.cfg.FPS) / 8
+	pSize := avg * gop / (gop - 1 + e.cfg.IFrameRatio)
+	size := pSize
+	if key {
+		size = pSize * e.cfg.IFrameRatio
+	}
+	complexity := math.Exp(e.rng.NormFloat64() * e.cfg.ComplexitySigma)
+	size *= complexity
+
+	f := Frame{
+		Num:        e.num,
+		Keyframe:   key,
+		Size:       int(size),
+		EncodeTime: now,
+		Rate:       e.rate,
+		Complexity: complexity,
+	}
+	if f.Size < 200 {
+		f.Size = 200
+	}
+	e.num++
+	return f
+}

@@ -1,0 +1,156 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rpivideo/internal/cc"
+	"rpivideo/internal/rtp"
+	"rpivideo/internal/sim"
+)
+
+func TestPlayerFPSDistCountsPerSecond(t *testing.T) {
+	s := sim.New(1)
+	ctrl := cc.NewStatic(8e6)
+	snd, pl := pipe(s, ctrl, 40*time.Millisecond, nil)
+	snd.Start()
+	s.RunUntil(10 * time.Second)
+	d := pl.FPSDist(10 * time.Second)
+	if d.N() != 10 {
+		t.Fatalf("FPS samples = %d, want one per second", d.N())
+	}
+	// Steady state plays 30 FPS; the first second is short by the pipeline
+	// warm-up.
+	if d.Quantile(0.5) < 28 || d.Quantile(0.5) > 32 {
+		t.Errorf("median FPS = %v", d.Quantile(0.5))
+	}
+}
+
+func TestPlayerStallsPerMinuteZeroSpan(t *testing.T) {
+	s := sim.New(2)
+	pl := NewPlayer(s, DefaultPlayerConfig(), nil, nil)
+	if got := pl.StallsPerMinute(0); got != 0 {
+		t.Errorf("StallsPerMinute(0) = %v", got)
+	}
+}
+
+func TestPlayerOutOfOrderPacketsWithinFrame(t *testing.T) {
+	// Deliver each frame's packets in reverse order: reassembly must not
+	// care, and playback must be intact.
+	s := sim.New(3)
+	ctrl := cc.NewStatic(8e6)
+	snd := NewSender(s, DefaultSenderConfig(), ctrl, s.Stream("enc"))
+	pl := NewPlayer(s, DefaultPlayerConfig(), DefaultSSIMModel(), snd.FrameEncoding)
+	var batch []*rtp.Packet
+	snd.Transmit = func(p *rtp.Packet, size int) {
+		batch = append(batch, p)
+		if p.Header.Marker { // end of frame: deliver reversed
+			pkts := batch
+			batch = nil
+			s.After(30*time.Millisecond, func() {
+				for i := len(pkts) - 1; i >= 0; i-- {
+					pl.OnPacket(pkts[i], s.Now())
+				}
+			})
+		}
+	}
+	snd.Start()
+	s.RunUntil(5 * time.Second)
+	skipped := 0
+	for _, f := range pl.Frames {
+		if f.Skipped {
+			skipped++
+		}
+	}
+	if len(pl.Frames) < 100 {
+		t.Fatalf("only %d frames", len(pl.Frames))
+	}
+	if skipped > 0 {
+		t.Errorf("%d frames skipped under in-frame reordering", skipped)
+	}
+}
+
+func TestPlayerLatchQuirkRateGate(t *testing.T) {
+	s := sim.New(4)
+	cfg := DefaultPlayerConfig()
+	cfg.LatchQuirk = true
+	cfg.LatchRate = 12e6
+	pl := NewPlayer(s, cfg, nil, nil)
+	// Below the gate: not latched.
+	pk := rtp.NewPacketizer(1, 96, 1200)
+	feed := func(mbps float64, at time.Duration) {
+		bytes := int(mbps * 1e6 / 8)
+		sent := 0
+		num := uint32(at / time.Second * 100)
+		for sent < bytes {
+			for _, p := range pk.Packetize(rtp.FrameInfo{Num: num, Size: 30000}) {
+				pl.OnPacket(p, at)
+				sent += p.MarshalSize()
+			}
+			num++
+		}
+	}
+	for sec := 0; sec < 4; sec++ {
+		feed(5, time.Duration(sec)*time.Second)
+	}
+	if pl.latched() {
+		t.Error("latched at 5 Mbps, below the 12 Mbps gate")
+	}
+	pl2 := NewPlayer(s, cfg, nil, nil)
+	for sec := 0; sec < 4; sec++ {
+		feed2 := func(at time.Duration) {
+			bytes := int(20e6 / 8)
+			sent := 0
+			num := uint32(at/time.Second*100) + 50000
+			for sent < bytes {
+				for _, p := range pk.Packetize(rtp.FrameInfo{Num: num, Size: 30000}) {
+					pl2.OnPacket(p, at)
+					sent += p.MarshalSize()
+				}
+				num++
+			}
+		}
+		feed2(time.Duration(sec) * time.Second)
+	}
+	if !pl2.latched() {
+		t.Error("not latched at 20 Mbps, above the gate")
+	}
+	// Disabled quirk never latches.
+	cfg.LatchQuirk = false
+	pl3 := NewPlayer(s, cfg, nil, nil)
+	if pl3.latched() {
+		t.Error("latched with the quirk disabled")
+	}
+}
+
+func TestEncoderDeterministicPerSeed(t *testing.T) {
+	a := NewEncoder(DefaultEncoderConfig(), 8e6, rand.New(rand.NewSource(42)))
+	b := NewEncoder(DefaultEncoderConfig(), 8e6, rand.New(rand.NewSource(42)))
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i) * 33 * time.Millisecond
+		fa, fb := a.NextFrame(at), b.NextFrame(at)
+		if fa != fb {
+			t.Fatalf("frame %d differs between same-seed encoders", i)
+		}
+	}
+}
+
+func TestSenderFrameEncodingRegistry(t *testing.T) {
+	s := sim.New(6)
+	ctrl := cc.NewStatic(8e6)
+	snd := NewSender(s, DefaultSenderConfig(), ctrl, s.Stream("enc"))
+	snd.Transmit = func(*rtp.Packet, int) {}
+	snd.Start()
+	s.RunUntil(2 * time.Second)
+	rate, complexity, ok := snd.FrameEncoding(10)
+	if !ok {
+		t.Fatal("frame 10 not in the registry")
+	}
+	if rate < 2e6 || rate > 25e6 || complexity <= 0 {
+		t.Errorf("encoding = %v, %v", rate, complexity)
+	}
+	if _, _, ok := snd.FrameEncoding(999999); ok {
+		t.Error("unknown frame reported as known")
+	}
+}

@@ -1,0 +1,255 @@
+package video
+
+import (
+	"math/rand"
+	"time"
+
+	"rpivideo/internal/cc"
+	"rpivideo/internal/rtp"
+	"rpivideo/internal/sim"
+)
+
+// SenderConfig parameterizes the sending half of the pipeline.
+type SenderConfig struct {
+	Encoder EncoderConfig
+	// SSRC and PayloadType identify the RTP stream.
+	SSRC        uint32
+	PayloadType uint8
+	// MTU bounds RTP packet sizes (1200 by default).
+	MTU int
+}
+
+// DefaultSenderConfig returns the campaign sender parameters.
+func DefaultSenderConfig() SenderConfig {
+	return SenderConfig{
+		Encoder:     DefaultEncoderConfig(),
+		SSRC:        0x1234,
+		PayloadType: 96,
+		MTU:         1200,
+	}
+}
+
+// SentRecord remembers a sent packet so feedback can be translated into
+// cc.Acks.
+type SentRecord struct {
+	Seq          uint16
+	TransportSeq uint16
+	Size         int
+	SendTime     time.Duration
+}
+
+// Sender encodes, packetizes and paces the video stream under a congestion
+// controller. Transmit is called for each departing packet.
+type Sender struct {
+	cfg  SenderConfig
+	sim  *sim.Simulator
+	ctrl cc.Controller
+	enc  *Encoder
+	pkt  *rtp.Packetizer
+
+	queue cc.SendQueue
+	pacer cc.Pacer
+
+	// Transmit hands a packet to the uplink. Must be set before Start.
+	Transmit func(p *rtp.Packet, size int)
+
+	// sent records in-flight packets for feedback translation, keyed by
+	// both sequence spaces.
+	byTransport map[uint16]SentRecord
+	bySeq       map[uint16]SentRecord
+
+	draining bool
+	task     *sim.Task
+
+	// frames carries encoder-side per-frame data (rate, complexity) to the
+	// receiver-side SSIM computation. In the physical pipeline this is
+	// implicit in the encoded bitstream; the simulator transfers it out of
+	// band.
+	frames frameRegistry
+
+	// Counters for experiments.
+	FramesEncoded int
+	PacketsSent   int
+	BytesSent     int
+}
+
+// NewSender wires an encoder and packetizer under the given controller.
+func NewSender(s *sim.Simulator, cfg SenderConfig, ctrl cc.Controller, rng *rand.Rand) *Sender {
+	if cfg.MTU == 0 {
+		cfg.MTU = 1200
+	}
+	snd := &Sender{
+		cfg:         cfg,
+		sim:         s,
+		ctrl:        ctrl,
+		enc:         NewEncoder(cfg.Encoder, ctrl.TargetBitrate(0), rng),
+		pkt:         rtp.NewPacketizer(cfg.SSRC, cfg.PayloadType, cfg.MTU),
+		byTransport: make(map[uint16]SentRecord),
+		bySeq:       make(map[uint16]SentRecord),
+	}
+	if qa, ok := ctrl.(cc.QueueAware); ok {
+		qa.SetQueue(&snd.queue)
+	}
+	return snd
+}
+
+// Encoder exposes the encoder (for traces).
+func (s *Sender) Encoder() *Encoder { return s.enc }
+
+// QueueDelay returns the current send-queue head age.
+func (s *Sender) QueueDelay() time.Duration { return s.queue.Delay(s.sim.Now()) }
+
+// Start begins the frame clock. The sender runs until Stop.
+func (s *Sender) Start() {
+	interval := time.Second / time.Duration(s.cfg.Encoder.FPS)
+	s.task = s.sim.Every(0, interval, s.tick)
+}
+
+// Stop halts the frame clock.
+func (s *Sender) Stop() {
+	if s.task != nil {
+		s.task.Stop()
+	}
+}
+
+// tick encodes one frame and enqueues its packets.
+func (s *Sender) tick() {
+	now := s.sim.Now()
+	s.enc.SetTarget(s.ctrl.TargetBitrate(now))
+	f := s.enc.NextFrame(now)
+	s.FramesEncoded++
+	pkts := s.pkt.Packetize(rtp.FrameInfo{
+		Num:        f.Num,
+		EncodeTime: f.EncodeTime,
+		Keyframe:   f.Keyframe,
+		Size:       f.Size,
+		RTPTime:    uint32(uint64(f.Num) * rtp.VideoClockRate / uint64(s.cfg.Encoder.FPS)),
+	})
+	s.registerFrame(f)
+	for _, p := range pkts {
+		s.queue.Push(cc.Item{
+			Data:     p,
+			Size:     p.MarshalSize(),
+			Enqueued: now,
+			FrameNum: f.Num,
+		})
+	}
+	s.Kick()
+}
+
+// frameInfo is one frame's encoder-side data needed by the SSIM model.
+type frameInfo struct {
+	rate       float64
+	complexity float64
+}
+
+type frameRegistry map[uint32]frameInfo
+
+func (s *Sender) registerFrame(f Frame) {
+	if s.frames == nil {
+		s.frames = make(frameRegistry)
+	}
+	s.frames[f.Num] = frameInfo{rate: f.Rate, complexity: f.Complexity}
+	// Bound memory: drop entries older than ~40 s of video.
+	if len(s.frames) > 1200 {
+		cut := f.Num - 1200
+		for n := range s.frames {
+			if n < cut {
+				delete(s.frames, n)
+			}
+		}
+	}
+}
+
+// FrameEncoding returns the encoder rate and complexity of a frame, with
+// ok=false when it is no longer tracked.
+func (s *Sender) FrameEncoding(num uint32) (rate, complexity float64, ok bool) {
+	fi, ok := s.frames[num]
+	return fi.rate, fi.complexity, ok
+}
+
+// Kick restarts the drain loop; the session calls it when feedback arrives
+// (a window-limited controller may have room again).
+func (s *Sender) Kick() {
+	if s.draining {
+		return
+	}
+	s.draining = true
+	s.drain()
+}
+
+// drain sends queued packets as the pacer and controller allow.
+func (s *Sender) drain() {
+	now := s.sim.Now()
+	for {
+		it, ok := s.queue.Peek()
+		if !ok {
+			s.draining = false
+			return
+		}
+		if !s.ctrl.CanSend(now, it.Size) {
+			// Self-clocked controller out of window: feedback will kick us.
+			s.draining = false
+			return
+		}
+		if !s.pacer.Idle(now) {
+			s.sim.At(s.pacer.FreeAt(), s.drain)
+			return
+		}
+		s.queue.Pop()
+		s.pacer.Next(now, it.Size, s.ctrl.PacingRate(now))
+		p := it.Data.(*rtp.Packet)
+		tseq, _ := p.Header.TransportSeq()
+		rec := SentRecord{
+			Seq:          p.Header.SequenceNumber,
+			TransportSeq: tseq,
+			Size:         it.Size,
+			SendTime:     now,
+		}
+		s.byTransport[tseq] = rec
+		s.bySeq[rec.Seq] = rec
+		s.trimSent(rec.Seq, rec.TransportSeq)
+		s.ctrl.OnPacketSent(cc.SentPacket{
+			TransportSeq: tseq,
+			Seq:          rec.Seq,
+			Size:         it.Size,
+			SendTime:     now,
+		})
+		s.PacketsSent++
+		s.BytesSent += it.Size
+		s.Transmit(p, it.Size)
+	}
+}
+
+// trimSent bounds the sent-record maps. When a map exceeds 2^14 entries,
+// records older than 2^13 sequence numbers are dropped, freeing roughly
+// half the map per scan so the cost amortizes to O(1) per packet.
+func (s *Sender) trimSent(seq, tseq uint16) {
+	if len(s.bySeq) > 1<<14 {
+		for k := range s.bySeq {
+			if seq-k > 1<<13 {
+				delete(s.bySeq, k)
+			}
+		}
+	}
+	if len(s.byTransport) > 1<<14 {
+		for k := range s.byTransport {
+			if tseq-k > 1<<13 {
+				delete(s.byTransport, k)
+			}
+		}
+	}
+}
+
+// LookupTransport translates a transport sequence number into its sent
+// record.
+func (s *Sender) LookupTransport(tseq uint16) (SentRecord, bool) {
+	r, ok := s.byTransport[tseq]
+	return r, ok
+}
+
+// LookupSeq translates an RTP sequence number into its sent record.
+func (s *Sender) LookupSeq(seq uint16) (SentRecord, bool) {
+	r, ok := s.bySeq[seq]
+	return r, ok
+}

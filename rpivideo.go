@@ -1,0 +1,98 @@
+// Package rpivideo reproduces the measurement system of "Analyzing
+// Real-time Video Delivery over Cellular Networks for Remote Piloting
+// Aerial Vehicles" (Baltaci et al., IMC '22) as a Go library.
+//
+// The library contains every system the study depends on, built from
+// scratch: a deterministic discrete-event simulator, the RTP/RTCP wire
+// formats (including transport-wide congestion control feedback and RFC
+// 8888), send-side Google Congestion Control, SCReAM, an H.264-style
+// encoder model, the GStreamer-like jitter-buffer player, an LTE access
+// link emulator with handovers calibrated to the paper's statistics, and
+// the published flight trajectory. See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for the paper-vs-measured record.
+//
+// The quickest start:
+//
+//	result := rpivideo.Run(rpivideo.Config{
+//		Env:  rpivideo.Urban,
+//		Air:  true,
+//		CC:   rpivideo.GCC,
+//		Seed: 1,
+//	})
+//	fmt.Printf("goodput: %.1f Mbps\n", result.GoodputMean())
+//
+// Every run is a pure function of its Config (including Seed): re-running
+// with the same configuration reproduces the result bit-for-bit.
+package rpivideo
+
+import (
+	"rpivideo/internal/cell"
+	"rpivideo/internal/core"
+)
+
+// Environment selects the measurement area of the campaign (§3.1).
+type Environment = cell.Environment
+
+// Environments.
+const (
+	// Urban is the Munich city-centre zone: dense base stations, abundant
+	// uplink capacity (static 25 Mbps is sustainable).
+	Urban = cell.Urban
+	// Rural is the Munich-outskirts zone: sparse coverage, fluctuating
+	// capacity around 8–12 Mbps.
+	Rural = cell.Rural
+)
+
+// Operator selects the mobile network operator profile (Appendix A.3).
+type Operator = cell.Operator
+
+// Operators.
+const (
+	// P1 is the study's default operator.
+	P1 = cell.P1
+	// P2 is the competing operator with denser rural coverage.
+	P2 = cell.P2
+)
+
+// CC selects the rate-control regime (§3.2).
+type CC = core.CCKind
+
+// Rate-control regimes.
+const (
+	// Static streams at a constant bitrate (25 Mbps urban / 8 Mbps rural).
+	Static = core.CCStatic
+	// GCC is Google Congestion Control over transport-wide feedback.
+	GCC = core.CCGCC
+	// SCReAM is Self-Clocked Rate Adaptation for Multimedia over RFC 8888
+	// feedback.
+	SCReAM = core.CCSCReAM
+)
+
+// Workload selects the traffic a run carries.
+type Workload = core.Workload
+
+// Workloads.
+const (
+	// Video is the RTP video stream of the main campaign.
+	Video = core.WorkloadVideo
+	// Ping is the no-cross-traffic probe workload of Fig. 13.
+	Ping = core.WorkloadPing
+)
+
+// Config describes one measurement run; see core.Config for field docs.
+type Config = core.Config
+
+// Result aggregates one run's measurements; see core.Result.
+type Result = core.Result
+
+// Handover is one handover event with its execution time.
+type Handover = cell.Event
+
+// Run executes one measurement run.
+func Run(cfg Config) *Result { return core.Run(cfg) }
+
+// RunCampaign executes runs repetitions of cfg under derived seeds.
+func RunCampaign(cfg Config, runs int) []*Result { return core.RunCampaign(cfg, runs) }
+
+// Merge folds several results into combined distributions.
+func Merge(results []*Result) *Result { return core.Merge(results) }
