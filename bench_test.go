@@ -2,7 +2,9 @@ package rpivideo_test
 
 import (
 	"testing"
+	"time"
 
+	"rpivideo"
 	"rpivideo/internal/experiments"
 )
 
@@ -145,3 +147,27 @@ func BenchmarkExtAQM(b *testing.B) {
 func BenchmarkExtMultipath(b *testing.B) {
 	benchReport(b, experiments.ExtMultipath)
 }
+
+// benchCampaign measures the campaign engine itself on a 20-run sweep of
+// short urban flights. Compare the Serial and Parallel variants to see the
+// worker-pool speedup on a multi-core machine; both produce byte-identical
+// merged results (locked in by core's determinism test).
+func benchCampaign(b *testing.B, workers int) {
+	b.ReportAllocs()
+	cfg := rpivideo.Config{Env: rpivideo.Urban, Air: true, CC: rpivideo.Static, Seed: 1, Duration: 20 * time.Second}
+	for i := 0; i < b.N; i++ {
+		_, errs := rpivideo.RunCampaignWithOptions(cfg, 20, rpivideo.CampaignOptions{Workers: workers})
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCampaign20RunsSerial runs the 20-run campaign on one worker.
+func BenchmarkCampaign20RunsSerial(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaign20RunsParallel runs the same campaign with one worker
+// per logical CPU.
+func BenchmarkCampaign20RunsParallel(b *testing.B) { benchCampaign(b, 0) }

@@ -7,6 +7,7 @@
 //	rpbench                  # run every experiment (≈10 min at -runs 3)
 //	rpbench -fig fig6        # one experiment
 //	rpbench -runs 5 -seed 7  # more repetitions, different base seed
+//	rpbench -workers 1       # serial campaigns (default: one per CPU)
 //	rpbench -list            # list experiment IDs
 package main
 
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"rpivideo/internal/experiments"
 )
@@ -49,6 +51,8 @@ func main() {
 	fig := flag.String("fig", "all", "experiment ID to run, or 'all'")
 	runs := flag.Int("runs", 3, "seeded repetitions per configuration")
 	seed := flag.Int64("seed", 1, "base seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"concurrent campaign runs (results are identical at any setting)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -59,7 +63,7 @@ func main() {
 		return
 	}
 
-	o := experiments.Options{Runs: *runs, Seed: *seed}
+	o := experiments.Options{Runs: *runs, Seed: *seed, Workers: *workers}
 	failed := 0
 	ran := 0
 	for _, e := range registry {

@@ -4,22 +4,35 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"rpivideo"
 )
 
 func main() {
-	fmt.Println("method × environment, 3 flights each:")
+	fmt.Println("method × environment, 3 flights each (campaigns fan out across CPUs):")
 	fmt.Printf("%-16s %8s %10s %10s %9s %8s\n",
 		"configuration", "goodput", "<300ms", "ssim<0.5", "stalls/m", "HO/s")
+	// The progress hook makes long sweeps observable: one line per
+	// completed flight with the aggregate simulation speed.
+	opts := rpivideo.CampaignOptions{Progress: func(p rpivideo.CampaignProgress) {
+		fmt.Fprintf(os.Stderr, "  run %d/%d done (%.0f sim-s/s)\n", p.Completed, p.Total, p.SimRate)
+	}}
 	for _, env := range []rpivideo.Environment{rpivideo.Urban, rpivideo.Rural} {
 		for _, ccKind := range []rpivideo.CC{rpivideo.Static, rpivideo.SCReAM, rpivideo.GCC} {
-			m := rpivideo.Merge(rpivideo.RunCampaign(rpivideo.Config{
+			rs, errs := rpivideo.RunCampaignWithOptions(rpivideo.Config{
 				Env:  env,
 				Air:  true,
 				CC:   ccKind,
 				Seed: 1,
-			}, 3))
+			}, 3, opts)
+			for _, err := range errs {
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "run failed:", err)
+					os.Exit(1)
+				}
+			}
+			m := rpivideo.Merge(rs)
 			fmt.Printf("%-16s %6.1fMb %9.0f%% %9.2f%% %9.2f %8.3f\n",
 				fmt.Sprintf("%v/%v", env, ccKind),
 				m.GoodputMean(),

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// CampaignOptions tunes how a campaign executes. The zero value gives the
+// defaults: one worker per logical CPU and the splitmix seed derivation.
+type CampaignOptions struct {
+	// Workers is the number of runs executed concurrently. Zero (or
+	// negative) selects runtime.GOMAXPROCS(0); 1 executes serially.
+	// Results do not depend on this: runs are pure functions of
+	// (Config, Seed) and are merged back in run-index order, so the
+	// output is byte-identical regardless of scheduling.
+	Workers int
+	// LegacySeeds selects the pre-campaign-engine seed derivation
+	// (cfg.Seed*1_000_003 + runIndex) so historical numbers — the
+	// EXPERIMENTS.md record in particular — can be regenerated exactly.
+	// The default is DeriveSeed.
+	LegacySeeds bool
+	// Progress, when non-nil, is invoked once per completed run. Calls
+	// are serialized by the engine, so the callback needs no locking of
+	// its own, but it must not block for long: it runs on the campaign's
+	// critical path.
+	Progress func(CampaignProgress)
+}
+
+// CampaignProgress is one campaign status sample, emitted as each run
+// completes (in completion order, which under parallelism is not run-index
+// order).
+type CampaignProgress struct {
+	// Completed and Total count finished runs against the campaign size.
+	Completed, Total int
+	// RunIndex identifies the run that just finished.
+	RunIndex int
+	// Err is non-nil when that run panicked; its result slot is nil.
+	Err error
+	// Wall is the wall-clock time since the campaign started.
+	Wall time.Duration
+	// SimRate is the aggregate simulation speed so far, in simulated
+	// seconds per wall-clock second across all completed runs.
+	SimRate float64
+}
+
+// DeriveSeed mixes a campaign base seed and a run index into the run's
+// seed using a splitmix64-style finalizer. Unlike the legacy affine scheme
+// (base*1_000_003 + run), which collides trivially across campaigns
+// (base+1 at run 0 equals base at run 1_000_003, and nearby bases yield
+// overlapping arithmetic progressions), the multiply–xorshift finalizer
+// decorrelates every (base, run) pair.
+func DeriveSeed(base int64, run int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(run+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// legacySeed is the pre-campaign-engine derivation, kept behind
+// CampaignOptions.LegacySeeds for reproducing historical results.
+func legacySeed(base int64, run int) int64 {
+	return base*1_000_003 + int64(run)
+}
+
+// runSeed resolves the seed for one run under the selected derivation.
+func (o CampaignOptions) runSeed(base int64, run int) int64 {
+	if o.LegacySeeds {
+		return legacySeed(base, run)
+	}
+	return DeriveSeed(base, run)
+}
+
+// RunCampaign executes a campaign: the given number of independent
+// repetitions of cfg, each seeded by DeriveSeed(cfg.Seed, runIndex) and
+// fanned out across runtime.GOMAXPROCS(0) workers. The per-run results
+// come back in run-index order. It re-panics the first per-run panic
+// after all runs finish; use RunCampaignWithOptions to keep the surviving
+// runs' results instead.
+func RunCampaign(cfg Config, runs int) []*Result {
+	out, errs := RunCampaignWithOptions(cfg, runs, CampaignOptions{})
+	for _, err := range errs {
+		if err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// RunCampaignWithOptions executes a campaign of runs independent
+// repetitions of cfg on a worker pool and returns per-run results and
+// per-run errors, both indexed by run. A run that panics is recovered into
+// its error slot (with its result slot nil) without disturbing the other
+// runs. Results are merged back in run-index order, so for a given
+// (cfg, runs, seed derivation) the output is byte-identical at any worker
+// count.
+func RunCampaignWithOptions(cfg Config, runs int, opts CampaignOptions) ([]*Result, []error) {
+	return runJobs(runs, opts, func(i int) *Result {
+		c := cfg
+		c.Seed = opts.runSeed(cfg.Seed, i)
+		return Run(c)
+	})
+}
+
+// runJobs fans job(0..runs-1) out across the option's worker pool,
+// recovering per-job panics into error slots and emitting progress samples.
+func runJobs(runs int, opts CampaignOptions, job func(i int) *Result) ([]*Result, []error) {
+	if runs <= 0 {
+		return nil, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+
+	results := make([]*Result, runs)
+	errs := make([]error, runs)
+	start := time.Now()
+	var (
+		mu        sync.Mutex
+		completed int
+		simSecs   float64
+	)
+	finish := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		completed++
+		if results[i] != nil {
+			simSecs += results[i].Duration.Seconds()
+		}
+		if opts.Progress == nil {
+			return
+		}
+		p := CampaignProgress{Completed: completed, Total: runs, RunIndex: i, Err: errs[i], Wall: time.Since(start)}
+		if w := p.Wall.Seconds(); w > 0 {
+			p.SimRate = simSecs / w
+		}
+		opts.Progress(p)
+	}
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				results[i] = nil
+				errs[i] = fmt.Errorf("campaign run %d panicked: %v", i, r)
+			}
+			finish(i)
+		}()
+		results[i] = job(i)
+	}
+
+	if workers == 1 {
+		for i := 0; i < runs; i++ {
+			runOne(i)
+		}
+		return results, errs
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runOne(i)
+			}
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, errs
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rpivideo/internal/cell"
+)
+
+// resultFingerprint renders every result field the experiments package
+// consumes — distribution boxes, counters, handover lists — so two results
+// can be compared byte-for-byte.
+func resultFingerprint(r *Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "dur=%v\n", r.Duration)
+	fmt.Fprintf(&sb, "owd=%v\n", r.OWDms.Box())
+	for b := range r.OWDByAlt {
+		fmt.Fprintf(&sb, "owd[%v]=%v\n", AltBucket(b), r.OWDByAlt[b].Box())
+	}
+	fmt.Fprintf(&sb, "goodput=%v\n", r.Goodput.Box())
+	fmt.Fprintf(&sb, "fps=%v playback=%v ssim=%v\n", r.FPS.Box(), r.PlaybackMs.Box(), r.SSIM.Box())
+	fmt.Fprintf(&sb, "jitter=%v rtcprtt=%v\n", r.JitterMs.Box(), r.RTCPRTTms.Box())
+	fmt.Fprintf(&sb, "pkts=%d/%d/%d/%d/%d ctrl=%d/%d/%d per=%.9f\n",
+		r.PacketsSent, r.PacketsDelivered, r.PacketsLost, r.Overflows, r.AQMDrops,
+		r.CtrlPacketsSent, r.CtrlPacketsDelivered, r.CtrlPacketsLost, r.PER)
+	fmt.Fprintf(&sb, "frames=%d/%d stalls=%d/%.4f rampup=%v\n",
+		r.FramesPlayed, r.FramesSkipped, len(r.Stalls), r.StallsPerMin, r.RampUpTo25)
+	for _, ev := range r.Handovers {
+		fmt.Fprintf(&sb, "ho=%+v\n", ev)
+	}
+	return sb.String()
+}
+
+// TestCampaignParallelMatchesSerial is the determinism lock the worker pool
+// depends on: a parallel campaign must produce results identical to the
+// serial path for the same (Config, Seed), field by field and in run-index
+// order.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	cfg := Config{Env: cell.Urban, Air: true, CC: CCGCC, Seed: 21, Duration: 30 * time.Second}
+	const runs = 6
+	serial, serr := RunCampaignWithOptions(cfg, runs, CampaignOptions{Workers: 1})
+	par, perr := RunCampaignWithOptions(cfg, runs, CampaignOptions{Workers: 4})
+	if len(serial) != runs || len(par) != runs {
+		t.Fatalf("campaign sizes: serial %d, parallel %d", len(serial), len(par))
+	}
+	for i := 0; i < runs; i++ {
+		if serr[i] != nil || perr[i] != nil {
+			t.Fatalf("run %d errored: serial %v, parallel %v", i, serr[i], perr[i])
+		}
+		a, b := resultFingerprint(serial[i]), resultFingerprint(par[i])
+		if a != b {
+			t.Errorf("run %d differs between serial and parallel:\n--- serial ---\n%s--- parallel ---\n%s", i, a, b)
+		}
+	}
+}
+
+// TestCampaignPanicRecovered: one panicking run must surface as an error in
+// its own slot without losing the other runs' results.
+func TestCampaignPanicRecovered(t *testing.T) {
+	results, errs := runJobs(5, CampaignOptions{Workers: 3}, func(i int) *Result {
+		if i == 2 {
+			panic("injected failure")
+		}
+		return &Result{Duration: time.Duration(i) * time.Second}
+	})
+	if errs[2] == nil || !strings.Contains(errs[2].Error(), "run 2") ||
+		!strings.Contains(errs[2].Error(), "injected failure") {
+		t.Fatalf("panic not captured: %v", errs[2])
+	}
+	if results[2] != nil {
+		t.Error("panicked run left a result")
+	}
+	for _, i := range []int{0, 1, 3, 4} {
+		if errs[i] != nil || results[i] == nil || results[i].Duration != time.Duration(i)*time.Second {
+			t.Errorf("run %d lost: res=%v err=%v", i, results[i], errs[i])
+		}
+	}
+}
+
+// TestRunCampaignRepanics: the compatibility wrapper keeps the historical
+// contract that a failing run fails the campaign.
+func TestRunCampaignRepanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RunCampaign swallowed a run panic")
+		}
+	}()
+	// A negative SCReAM feedback interval makes sim.Every panic inside Run.
+	RunCampaign(Config{Env: cell.Urban, CC: CCSCReAM, Seed: 1,
+		Duration: time.Second, ScreamFeedbackInterval: -time.Millisecond}, 2)
+}
+
+// TestCampaignProgress: the hook sees every run exactly once and a
+// monotonically complete campaign.
+func TestCampaignProgress(t *testing.T) {
+	seen := make(map[int]int)
+	last := 0
+	_, errs := runJobs(7, CampaignOptions{Workers: 4, Progress: func(p CampaignProgress) {
+		seen[p.RunIndex]++
+		if p.Total != 7 || p.Completed != last+1 {
+			t.Errorf("progress out of order: %+v after completed=%d", p, last)
+		}
+		last = p.Completed
+	}}, func(i int) *Result { return &Result{Duration: time.Second} })
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last != 7 || len(seen) != 7 {
+		t.Errorf("progress coverage: completed=%d distinct=%d", last, len(seen))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("run %d reported %d times", i, n)
+		}
+	}
+}
+
+// TestSeedDerivation pins both derivations: the splitmix default must
+// decorrelate (base, run) pairs the legacy affine scheme collides on, and
+// the legacy switch must reproduce the historical seeds exactly.
+func TestSeedDerivation(t *testing.T) {
+	if legacySeed(1, 1_000_003) != legacySeed(2, 0) {
+		t.Error("legacy derivation changed; the compatibility switch no longer reproduces history")
+	}
+	if DeriveSeed(1, 1_000_003) == DeriveSeed(2, 0) {
+		t.Error("splitmix derivation inherited the legacy cross-campaign collision")
+	}
+	seen := make(map[int64]bool)
+	for base := int64(0); base < 32; base++ {
+		for run := 0; run < 32; run++ {
+			s := DeriveSeed(base, run)
+			if seen[s] {
+				t.Fatalf("DeriveSeed collision at base=%d run=%d", base, run)
+			}
+			seen[s] = true
+		}
+	}
+	opts := CampaignOptions{LegacySeeds: true}
+	if got, want := opts.runSeed(9, 1), int64(9*1_000_003+1); got != want {
+		t.Errorf("legacy runSeed = %d, want %d", got, want)
+	}
+}
+
+// TestSenderReportsAreControlPlane: RTCP SRs ride the media uplink but must
+// not count toward the media counters PER is computed from.
+func TestSenderReportsAreControlPlane(t *testing.T) {
+	r := Run(Config{Env: cell.Urban, Air: true, CC: CCStatic, Seed: 3, Duration: 40 * time.Second})
+	// One SR per second, starting at t=1 s.
+	if r.CtrlPacketsSent < 35 || r.CtrlPacketsSent > 40 {
+		t.Errorf("control packets sent = %d, want ≈ one SR per second", r.CtrlPacketsSent)
+	}
+	// Conservation up to packets still in flight when the run ends at dur.
+	if inFlight := r.CtrlPacketsSent - r.CtrlPacketsDelivered - r.CtrlPacketsLost; inFlight < 0 || inFlight > 2 {
+		t.Errorf("control conservation: %d delivered + %d lost vs %d sent",
+			r.CtrlPacketsDelivered, r.CtrlPacketsLost, r.CtrlPacketsSent)
+	}
+	if r.PacketsSent == 0 {
+		t.Fatal("no media packets")
+	}
+	if want := float64(r.PacketsLost) / float64(r.PacketsSent); r.PER != want {
+		t.Errorf("PER = %v, want media-only %v", r.PER, want)
+	}
+}

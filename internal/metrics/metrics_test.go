@@ -18,6 +18,11 @@ func TestDistEmpty(t *testing.T) {
 	if got := d.CDF([]float64{1, 2}); got[0] != 0 || got[1] != 0 {
 		t.Error("empty Dist CDF should be zero")
 	}
+	// Regression: an empty distribution used to report FracAtOrAbove = 1,
+	// letting shape checks like FPS.FracAtOrAbove(29) pass vacuously.
+	if got := d.FracAtOrAbove(29); got != 0 {
+		t.Errorf("empty Dist FracAtOrAbove = %v, want 0", got)
+	}
 }
 
 func TestDistBasicStats(t *testing.T) {

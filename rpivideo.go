@@ -88,11 +88,31 @@ type Result = core.Result
 // Handover is one handover event with its execution time.
 type Handover = cell.Event
 
+// CampaignOptions tunes campaign execution: worker count, seed derivation
+// and the progress hook. See core.CampaignOptions for field docs.
+type CampaignOptions = core.CampaignOptions
+
+// CampaignProgress is one per-completed-run campaign status sample.
+type CampaignProgress = core.CampaignProgress
+
 // Run executes one measurement run.
 func Run(cfg Config) *Result { return core.Run(cfg) }
 
-// RunCampaign executes runs repetitions of cfg under derived seeds.
+// RunCampaign executes runs repetitions of cfg under seeds derived by
+// DeriveSeed, fanned out across one worker per logical CPU. Results come
+// back in run-index order, so the output is identical at any parallelism.
 func RunCampaign(cfg Config, runs int) []*Result { return core.RunCampaign(cfg, runs) }
+
+// RunCampaignWithOptions is RunCampaign with explicit worker count, seed
+// derivation and progress reporting; per-run panics come back as per-run
+// errors instead of failing the whole campaign.
+func RunCampaignWithOptions(cfg Config, runs int, opts CampaignOptions) ([]*Result, []error) {
+	return core.RunCampaignWithOptions(cfg, runs, opts)
+}
+
+// DeriveSeed exposes the campaign seed derivation so externally-driven
+// sweeps can reproduce individual campaign runs.
+func DeriveSeed(base int64, run int) int64 { return core.DeriveSeed(base, run) }
 
 // Merge folds several results into combined distributions.
 func Merge(results []*Result) *Result { return core.Merge(results) }
