@@ -45,6 +45,7 @@ var registry = []struct {
 	{"ext-daps", "DAPS make-before-break handover (§5)", experiments.ExtDAPS},
 	{"ext-aqm", "CoDel AQM on the bottleneck (§5)", experiments.ExtAQM},
 	{"ext-mpath", "multipath duplication (§5)", experiments.ExtMultipath},
+	{"robust", "fault injection: outages and graceful degradation", experiments.Robustness},
 }
 
 func main() {
@@ -53,6 +54,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"concurrent campaign runs (results are identical at any setting)")
+	faults := flag.String("faults", "",
+		"scripted outage schedule for the robust experiment, e.g. \"45s+2s,70s+500ms/up\"")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -63,7 +66,7 @@ func main() {
 		return
 	}
 
-	o := experiments.Options{Runs: *runs, Seed: *seed, Workers: *workers}
+	o := experiments.Options{Runs: *runs, Seed: *seed, Workers: *workers, FaultSpec: *faults}
 	failed := 0
 	ran := 0
 	for _, e := range registry {

@@ -31,6 +31,9 @@ type HandoverConfig struct {
 	// execution gap disappears and the degradation around handovers is
 	// largely masked by the second leg.
 	DAPS bool
+	// RLF arms the radio-link-failure model (rlf.go). The zero value
+	// disables it.
+	RLF RLFConfig
 }
 
 // DefaultHandoverConfig returns LTE-typical parameters (urban calibration).
@@ -72,7 +75,13 @@ type Machine struct {
 	candidateSince time.Duration
 	haveCandidate  bool
 
-	busyUntil time.Duration // in-progress handover execution window
+	busyUntil time.Duration // in-progress handover or re-establishment window
+
+	// Radio-link-failure supervision (rlf.go).
+	t310Running    bool
+	t310Since      time.Duration
+	reestablishing bool
+	rlfs           []RLFEvent
 
 	events []Event
 	rsrps  []float64
@@ -162,9 +171,26 @@ func (m *Machine) Step(now time.Duration, st flight.State) *Event {
 		m.serving = best
 		return nil
 	}
+	if m.reestablishing {
+		if m.InHandover(now) {
+			m.haveCandidate = false
+			return nil
+		}
+		// Re-establishment blackout over: attach to the strongest cell.
+		// RRC re-establishment is not a handover, so no Event is emitted
+		// and HET statistics stay clean-handover-only.
+		m.reestablishing = false
+		m.prevServing = m.serving
+		m.serving = best
+		m.lastHOAt = now
+		m.rlfs[len(m.rlfs)-1].To = best
+	}
 	// No measurements act while the previous handover is executing.
 	if m.InHandover(now) {
 		m.haveCandidate = false
+		return nil
+	}
+	if m.cfg.RLF.Enabled && m.monitorRLF(now) {
 		return nil
 	}
 	if best == m.serving || m.rsrps[best] <= m.rsrps[m.serving]+m.cfg.HysteresisDB {
@@ -186,6 +212,15 @@ func (m *Machine) Step(now time.Duration, st flight.State) *Event {
 	het := m.sampleHET(st)
 	if m.cfg.DAPS {
 		het = 0
+	}
+	// A pathological execution time risks losing both cells mid-handover:
+	// the UE then declares RLF and re-establishes instead of completing
+	// the handover (§4.1's worst HET outliers; never under DAPS, whose
+	// source leg stays up).
+	if m.cfg.RLF.Enabled && !m.cfg.DAPS && m.cfg.RLF.HOFailureProb > 0 &&
+		het >= m.cfg.RLF.HOFailureHET && m.rng.Float64() < m.cfg.RLF.HOFailureProb {
+		m.declareRLF(now, RLFHandoverFailure)
+		return nil
 	}
 	ev := Event{
 		At:       now,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rpivideo/internal/cell"
+	"rpivideo/internal/fault"
 )
 
 // CCKind selects the rate-control regime (§3.2: static, GCC or SCReAM).
@@ -101,6 +102,21 @@ type Config struct {
 	// (the multipath-transport reliability idea); the receiver plays the
 	// first copy of each packet.
 	Multipath bool
+
+	// Faults arms deterministic fault injection — scripted coverage
+	// outages, radio-link failures and the graceful-degradation machinery
+	// they exercise (see internal/fault). The zero value disables
+	// everything and leaves the calibrated campaign results untouched.
+	Faults fault.Config
+}
+
+// watchdogTimeout resolves the feedback-starvation threshold when the
+// fault layer arms the watchdog.
+func (c Config) watchdogTimeout() time.Duration {
+	if c.Faults.WatchdogTimeout > 0 {
+		return c.Faults.WatchdogTimeout
+	}
+	return 750 * time.Millisecond
 }
 
 // staticRate resolves the constant bitrate for this config.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rpivideo/internal/cell"
+	"rpivideo/internal/fault"
 	"rpivideo/internal/metrics"
 	"rpivideo/internal/video"
 )
@@ -105,6 +106,18 @@ type Result struct {
 	// Ramp-up: first time the controller target reached 99% of MaxRate
 	// (zero if never).
 	RampUpTo25 time.Duration
+
+	// Fault-injection metrics (video workloads with Config.Faults armed).
+	Outages           int             // realized outage episodes
+	OutageTotal       time.Duration   // summed episode length
+	OutageMs          metrics.Dist    // per-episode length (ms)
+	RLFs              int             // T310-expiry radio-link failures
+	HandoverFailures  int             // handovers failed into re-establishment
+	StaleDrops        int             // media packets flushed at re-establishment
+	KeyframeRequests  int             // PLI-style requests the player issued
+	RecoveryMs        metrics.Dist    // per-episode time for the target rate to return to ≥80% of its pre-outage value (ms)
+	PostOutageQueueMs float64         // worst uplink queue delay within 5 s after an episode (ms)
+	FaultEpisodes     []fault.Episode // the run's outage timeline
 }
 
 // GoodputMean returns the mean per-second goodput in Mbps.
@@ -161,6 +174,18 @@ func Merge(results []*Result) *Result {
 		out.ScreamLossesInBand += r.ScreamLossesInBand
 		out.ScreamLossesWindow += r.ScreamLossesWindow
 		out.ScreamDiscards += r.ScreamDiscards
+		out.Outages += r.Outages
+		out.OutageTotal += r.OutageTotal
+		out.OutageMs.AddAll(&r.OutageMs)
+		out.RLFs += r.RLFs
+		out.HandoverFailures += r.HandoverFailures
+		out.StaleDrops += r.StaleDrops
+		out.KeyframeRequests += r.KeyframeRequests
+		out.RecoveryMs.AddAll(&r.RecoveryMs)
+		if r.PostOutageQueueMs > out.PostOutageQueueMs {
+			out.PostOutageQueueMs = r.PostOutageQueueMs
+		}
+		out.FaultEpisodes = append(out.FaultEpisodes, r.FaultEpisodes...)
 	}
 	if sentSum > 0 {
 		out.PER = float64(lostSum) / float64(sentSum)

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"rpivideo/internal/cc"
 	"rpivideo/internal/cell"
+	"rpivideo/internal/fault"
 	"rpivideo/internal/flight"
 	"rpivideo/internal/gcc"
 	"rpivideo/internal/link"
@@ -44,6 +46,9 @@ func Run(cfg Config) *Result {
 	model := cell.NewSignalModel(cfg.Env, bss, cell.DefaultSignalConfigFor(cfg.Env), cellRng)
 	hoCfg := cell.DefaultHandoverConfigFor(cfg.Env)
 	hoCfg.DAPS = cfg.DAPS
+	if cfg.Faults.RLF {
+		hoCfg.RLF = cell.DefaultRLFConfig()
+	}
 	machine := cell.NewMachine(model, hoCfg, cfg.Air, cellRng)
 
 	res := &Result{Config: cfg, Duration: dur}
@@ -57,6 +62,11 @@ func Run(cfg Config) *Result {
 	upProfile.AQM = cfg.AQM
 	uplink := link.New(s, upProfile, machine, stateAt, s.Stream("uplink"))
 	downlink := link.New(s, link.FeedbackProfile(), machine, stateAt, s.Stream("downlink"))
+	flushStale := !cfg.Faults.FreezeQueue
+	if cfg.Faults.Enabled() {
+		uplink.SetFaults(fault.NewLine(cfg.Faults.Windows, fault.Uplink), flushStale, cfg.Faults.StaleAfter)
+		downlink.SetFaults(fault.NewLine(cfg.Faults.Windows, fault.Downlink), flushStale, cfg.Faults.StaleAfter)
+	}
 
 	// The multipath extension: an independent second radio chain over the
 	// competing operator, carrying a duplicate of every media packet.
@@ -71,6 +81,7 @@ func Run(cfg Config) *Result {
 		model2 := cell.NewSignalModel(cfg.Env, bss2, cell.DefaultSignalConfigFor(cfg.Env), rng2)
 		hoCfg2 := cell.DefaultHandoverConfigFor(cfg.Env)
 		hoCfg2.DAPS = cfg.DAPS
+		hoCfg2.RLF = hoCfg.RLF
 		machine2 := cell.NewMachine(model2, hoCfg2, cfg.Air, rng2)
 		s.Every(0, hoCfg2.MeasurementInterval, func() {
 			machine2.Step(s.Now(), stateAt(s.Now()))
@@ -78,13 +89,18 @@ func Run(cfg Config) *Result {
 		prof2 := link.ProfileFor(cfg.Env, op2)
 		prof2.AQM = cfg.AQM
 		uplink2 = link.New(s, prof2, machine2, stateAt, s.Stream("uplink2"))
+		if cfg.Faults.Enabled() {
+			// A scripted coverage hole is where the vehicle is: it silences
+			// both radios of a multipath run.
+			uplink2.SetFaults(fault.NewLine(cfg.Faults.Windows, fault.Uplink), flushStale, cfg.Faults.StaleAfter)
+		}
 	}
 
 	switch cfg.Workload {
 	case WorkloadPing:
 		runPing(s, cfg, res, uplink, downlink, stateAt, dur)
 	default:
-		runVideo(s, cfg, res, uplink, uplink2, downlink, stateAt, dur)
+		runVideo(s, cfg, res, machine, uplink, uplink2, downlink, stateAt, dur)
 	}
 
 	res.PacketsSent = uplink.Sent
@@ -103,13 +119,23 @@ func Run(cfg Config) *Result {
 
 // runVideo wires the RTP video pipeline and runs it to completion. uplink2
 // is the optional second (multipath) access link carrying duplicates.
-func runVideo(s *sim.Simulator, cfg Config, res *Result, uplink, uplink2, downlink *link.Link, stateAt func(time.Duration) flight.State, dur time.Duration) {
+func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, uplink, uplink2, downlink *link.Link, stateAt func(time.Duration) flight.State, dur time.Duration) {
+	faultsOn := cfg.Faults.Enabled()
+	watchdog := faultsOn && cfg.Faults.Watchdog
 	var ctrl cc.Controller
 	switch cfg.CC {
 	case CCGCC:
-		ctrl = gcc.New(gcc.Config{UseTrendline: cfg.GCCTrendline})
+		gcfg := gcc.Config{UseTrendline: cfg.GCCTrendline}
+		if watchdog {
+			gcfg.FeedbackTimeout = cfg.watchdogTimeout()
+		}
+		ctrl = gcc.New(gcfg)
 	case CCSCReAM:
-		ctrl = scream.New(scream.Config{})
+		sccfg := scream.Config{}
+		if watchdog {
+			sccfg.FeedbackTimeout = cfg.watchdogTimeout()
+		}
+		ctrl = scream.New(sccfg)
 	default:
 		ctrl = cc.NewStatic(cfg.staticRate())
 	}
@@ -132,7 +158,15 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, uplink, uplink2, downli
 			pcfg.DropThreshold = pcfg.JitterBuffer + 100*time.Millisecond
 		}
 	}
+	if faultsOn && cfg.Faults.KeyframeRecovery {
+		pcfg.KeyframeRecovery = true
+	}
 	pl := video.NewPlayer(s, pcfg, video.DefaultSSIMModel(), snd.FrameEncoding)
+	if pcfg.KeyframeRecovery {
+		// The receiver's PLI rides the feedback path: it reaches the sender
+		// only if the downlink is alive, as a real keyframe request would.
+		pl.KeyframeRequest = func() { downlink.Send(kfRequest{}, 40) }
+	}
 
 	snd.Transmit = func(p *rtp.Packet, size int) {
 		uplink.Send(p, size)
@@ -290,6 +324,10 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, uplink, uplink2, downli
 
 	// Sender-side feedback consumption.
 	downlink.Deliver = func(meta any, size int, sentAt, at time.Duration) {
+		if _, ok := meta.(kfRequest); ok {
+			snd.ForceKeyframe()
+			return
+		}
 		if rb, ok := meta.(rtcpBuf); ok {
 			var rr rtp.ReceiverReport
 			if err := rr.Unmarshal([]byte(rb)); err == nil && len(rr.Blocks) == 1 {
@@ -345,16 +383,100 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, uplink, uplink2, downli
 		snd.Kick()
 	}
 
-	// Target-rate sampling: ramp-up detection and optional series.
+	// Target-rate sampling: ramp-up detection, optional series, and — with
+	// faults armed — the per-episode recovery and post-outage queue metrics.
+	// Everything fault-related is gated on faultsOn: sampling QueueDelay
+	// advances the link's capacity process, so touching it here would
+	// perturb the calibrated no-fault runs.
 	var targetPts []metrics.Point
+	type recoveryTrack struct {
+		ep        fault.Episode
+		preRate   float64
+		recovered bool
+	}
+	var (
+		episodes   []fault.Episode
+		tracks     []*recoveryTrack
+		scripted   []fault.Episode
+		scriptIdx  int
+		rlfSeen    int
+		lastTarget float64
+	)
+	if faultsOn {
+		for _, w := range cfg.Faults.Windows {
+			if w.Start >= dur {
+				continue
+			}
+			end := w.End()
+			if end > dur {
+				end = dur
+			}
+			scripted = append(scripted, fault.Episode{Start: w.Start, End: end, Kind: fault.KindScripted, Dir: w.Dir})
+		}
+		episodes = append(episodes, scripted...)
+	}
+	// collectRLFs folds newly declared radio-link failures into the episode
+	// timeline (and, while the run is live, into the recovery tracking).
+	collectRLFs := func(track bool) {
+		evs := machine.RLFEvents()
+		for ; rlfSeen < len(evs); rlfSeen++ {
+			ev := evs[rlfSeen]
+			kind := fault.KindRLF
+			if ev.Cause == cell.RLFHandoverFailure {
+				kind = fault.KindHandoverFailure
+			}
+			end := ev.At + ev.Outage
+			if end > dur {
+				end = dur
+			}
+			ep := fault.Episode{Start: ev.At, End: end, Kind: kind}
+			episodes = append(episodes, ep)
+			if track {
+				tracks = append(tracks, &recoveryTrack{ep: ep, preRate: lastTarget})
+			}
+		}
+	}
 	s.Every(0, 100*time.Millisecond, func() {
-		t := ctrl.TargetBitrate(s.Now())
+		now := s.Now()
+		t := ctrl.TargetBitrate(now)
 		if cfg.KeepSeries {
-			targetPts = append(targetPts, metrics.Point{T: s.Now(), V: t / 1e6})
+			targetPts = append(targetPts, metrics.Point{T: now, V: t / 1e6})
 		}
 		if res.RampUpTo25 == 0 && t >= 24.75e6 {
-			res.RampUpTo25 = s.Now()
+			res.RampUpTo25 = now
 		}
+		if !faultsOn {
+			return
+		}
+		if lastTarget == 0 {
+			lastTarget = t
+		}
+		collectRLFs(true)
+		for scriptIdx < len(scripted) && now >= scripted[scriptIdx].Start {
+			tracks = append(tracks, &recoveryTrack{ep: scripted[scriptIdx], preRate: lastTarget})
+			scriptIdx++
+		}
+		var queueMs float64
+		queueSampled := false
+		for _, tr := range tracks {
+			if now < tr.ep.End {
+				continue
+			}
+			if now-tr.ep.End <= 5*time.Second {
+				if !queueSampled {
+					queueSampled = true
+					queueMs = float64(uplink.QueueDelay()) / float64(time.Millisecond)
+				}
+				if queueMs > res.PostOutageQueueMs {
+					res.PostOutageQueueMs = queueMs
+				}
+			}
+			if !tr.recovered && t >= 0.8*tr.preRate {
+				tr.recovered = true
+				res.RecoveryMs.Add(float64(now-tr.ep.End) / float64(time.Millisecond))
+			}
+		}
+		lastTarget = t
 	})
 
 	snd.Start()
@@ -395,11 +517,38 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, uplink, uplink2, downli
 		res.ScreamLossesWindow = sc.LossesWindow
 		res.ScreamDiscards = sc.QueueDiscards
 	}
+	if faultsOn {
+		collectRLFs(false)
+		sort.Slice(episodes, func(i, j int) bool {
+			if episodes[i].Start != episodes[j].Start {
+				return episodes[i].Start < episodes[j].Start
+			}
+			return episodes[i].Kind < episodes[j].Kind
+		})
+		res.FaultEpisodes = episodes
+		res.Outages = len(episodes)
+		for _, ep := range episodes {
+			res.OutageTotal += ep.Length()
+			res.OutageMs.Add(float64(ep.Length()) / float64(time.Millisecond))
+		}
+		for _, ev := range machine.RLFEvents() {
+			if ev.Cause == cell.RLFHandoverFailure {
+				res.HandoverFailures++
+			} else {
+				res.RLFs++
+			}
+		}
+		res.StaleDrops = uplink.StaleDrops
+		res.KeyframeRequests = pl.KeyframeRequests
+	}
 }
 
 // rtcpBuf marks receiver-report bytes on the downlink so they are not
 // mistaken for congestion-control feedback.
 type rtcpBuf []byte
+
+// kfRequest is the receiver's PLI-style keyframe request on the downlink.
+type kfRequest struct{}
 
 // pingProbe is the meta carried by Fig. 13 probe packets.
 type pingProbe struct {

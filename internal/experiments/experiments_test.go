@@ -38,6 +38,7 @@ func TestAllExperimentsSatisfyShapeChecks(t *testing.T) {
 		{"ext-daps", ExtDAPS},
 		{"ext-aqm", ExtAQM},
 		{"ext-mpath", ExtMultipath},
+		{"robust", Robustness},
 	}
 	for _, e := range exps {
 		e := e

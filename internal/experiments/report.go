@@ -28,6 +28,10 @@ type Options struct {
 	// any setting (campaigns merge in run-index order), so Workers is
 	// deliberately not part of the campaign memoization key.
 	Workers int
+	// FaultSpec overrides the robustness experiment's scripted outage
+	// schedule (fault.ParseSchedule syntax, e.g. "45s+2s,70s+500ms/up").
+	// Empty selects the default single 2 s blackout.
+	FaultSpec string
 }
 
 func (o *Options) defaults() {
@@ -186,5 +190,6 @@ func All(o Options) []*Report {
 		ExtDAPS(o),
 		ExtAQM(o),
 		ExtMultipath(o),
+		Robustness(o),
 	}
 }

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rpivideo/internal/cell"
+	"rpivideo/internal/core"
+	"rpivideo/internal/fault"
+)
+
+// Robustness runs the deterministic fault-injection scenario: the three
+// rate-control regimes fly the same urban ground campaign through the same
+// scripted coverage blackout (default: 2 s at t=45 s; override with
+// Options.FaultSpec) with the graceful-degradation machinery armed —
+// feedback-starvation watchdog, stale-queue flush and post-outage keyframe
+// recovery. The shape claims: every regime sees the identical outage
+// timeline; the adaptive controllers come back to ≥80% of their pre-outage
+// rate within seconds and bound the post-outage queue; the static sender
+// blindly fills the dead link's buffer and pays in overflows, flushed
+// packets and playback damage.
+func Robustness(o Options) *Report {
+	o.defaults()
+	r := &Report{ID: "robust", Title: "fault injection: outage response per rate-control regime"}
+
+	spec := o.FaultSpec
+	if spec == "" {
+		spec = "45s+2s"
+	}
+	ws, err := fault.ParseSchedule(spec)
+	if err != nil || len(ws) == 0 {
+		r.check("fault schedule parses", false, "%q: %v", spec, err)
+		return r
+	}
+	r.row("schedule %q, watchdog + stale flush + keyframe recovery armed", spec)
+
+	base := core.Config{
+		Env: cell.Urban, Air: false, Seed: o.Seed, Duration: 90 * time.Second,
+		Faults: fault.Config{
+			Windows:          ws,
+			Watchdog:         true,
+			KeyframeRecovery: true,
+		},
+	}
+	regimes := []core.CCKind{core.CCStatic, core.CCGCC, core.CCSCReAM}
+	res := make(map[core.CCKind]*core.Result, len(regimes))
+	for _, cc := range regimes {
+		cfg := base
+		cfg.CC = cc
+		res[cc] = campaign(cfg, o)
+	}
+
+	for _, cc := range regimes {
+		m := res[cc]
+		rec := "n/a"
+		if m.RecoveryMs.N() > 0 {
+			rec = fmt.Sprintf("med %4.0f max %5.0f ms", m.RecoveryMs.Median(), m.RecoveryMs.Max())
+		}
+		r.row("%-7v outages %d (%.1fs)  recovery %s  post-outage queue %5.0f ms  overflow %4d  stale %4d  kf-req %2d  skipped %3d  stalls %.2f/min",
+			cc, m.Outages, m.OutageTotal.Seconds(), rec, m.PostOutageQueueMs,
+			m.Overflows, m.StaleDrops, m.KeyframeRequests, m.FramesSkipped, m.StallsPerMin)
+	}
+
+	st, gcc, scr := res[core.CCStatic], res[core.CCGCC], res[core.CCSCReAM]
+
+	// An outage is judged for recovery only when the run leaves enough tail
+	// after it: SCReAM's ramp from the floor is the slowest recovery in the
+	// suite (≈25 s ramp-up, tbl-rampup), so an episode ending within 30 s
+	// of the run end is reported but not asserted.
+	judgeable := 0
+	for _, w := range ws {
+		if w.End()+30*time.Second <= base.Duration {
+			judgeable++
+		}
+	}
+	judgeable *= o.Runs
+
+	sameTimeline := func(a, b []fault.Episode) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	r.check("identical fault timeline across regimes",
+		sameTimeline(st.FaultEpisodes, gcc.FaultEpisodes) && sameTimeline(st.FaultEpisodes, scr.FaultEpisodes),
+		"static %d, gcc %d, scream %d episodes", len(st.FaultEpisodes), len(gcc.FaultEpisodes), len(scr.FaultEpisodes))
+	r.check("every scheduled blackout realized", st.Outages == len(ws)*o.Runs,
+		"%d episodes over %d runs for %d windows", st.Outages, o.Runs, len(ws))
+	r.check("gcc recovers to ≥80% after every judged outage",
+		gcc.RecoveryMs.N() >= judgeable && gcc.RecoveryMs.N() > 0,
+		"%d recoveries for %d outages (%d judged)", gcc.RecoveryMs.N(), gcc.Outages, judgeable)
+	r.check("scream recovers to ≥80% after every judged outage",
+		scr.RecoveryMs.N() >= judgeable && scr.RecoveryMs.N() > 0,
+		"%d recoveries for %d outages (%d judged)", scr.RecoveryMs.N(), scr.Outages, judgeable)
+	r.check("adaptive recovery takes seconds, not tens of seconds",
+		gcc.RecoveryMs.N() > 0 && gcc.RecoveryMs.Max() < 15_000 &&
+			scr.RecoveryMs.N() > 0 && scr.RecoveryMs.Max() < 15_000,
+		"gcc max %.0f ms, scream max %.0f ms", gcc.RecoveryMs.Max(), scr.RecoveryMs.Max())
+	r.check("watchdog bounds the adaptive post-outage queue",
+		gcc.PostOutageQueueMs < 0.5*st.PostOutageQueueMs && scr.PostOutageQueueMs < 0.5*st.PostOutageQueueMs,
+		"static %.0f ms vs gcc %.0f / scream %.0f ms", st.PostOutageQueueMs, gcc.PostOutageQueueMs, scr.PostOutageQueueMs)
+	r.check("blind static sender pays in dropped packets",
+		2*(st.Overflows+st.StaleDrops) > 3*(gcc.Overflows+gcc.StaleDrops) &&
+			2*(st.Overflows+st.StaleDrops) > 3*(scr.Overflows+scr.StaleDrops),
+		"static %d vs gcc %d / scream %d (overflow+stale)",
+		st.Overflows+st.StaleDrops, gcc.Overflows+gcc.StaleDrops, scr.Overflows+scr.StaleDrops)
+	r.check("only the blind sender tail-drops the dead link",
+		st.Overflows > 2*gcc.Overflows && st.Overflows > 2*scr.Overflows,
+		"overflows: static %d, gcc %d, scream %d", st.Overflows, gcc.Overflows, scr.Overflows)
+	r.check("static skips more frames than gcc",
+		st.FramesSkipped > gcc.FramesSkipped,
+		"skipped: static %d, gcc %d (scream %d, its conservatism skips on its own)",
+		st.FramesSkipped, gcc.FramesSkipped, scr.FramesSkipped)
+	r.check("keyframe recovery engaged after the blackout",
+		gcc.KeyframeRequests > 0 && scr.KeyframeRequests > 0 && st.KeyframeRequests > 0,
+		"requests: static %d, gcc %d, scream %d", st.KeyframeRequests, gcc.KeyframeRequests, scr.KeyframeRequests)
+	return r
+}

@@ -1,0 +1,223 @@
+// Package fault provides deterministic fault injection for the emulated
+// cellular paths: scripted coverage outages (the paper's §5 coverage holes
+// at altitude), plus the knobs that arm the radio-link-failure machinery
+// and the graceful-degradation responses across the stack. Everything here
+// is a pure function of the configuration — scripted windows carry no
+// randomness of their own, and RLF randomness draws from the run's named
+// rng streams — so a seeded run with faults enabled is byte-identical at
+// any campaign worker count.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Direction selects which side(s) of the bidirectional path a scripted
+// window silences. Media flows uplink (vehicle to operator); feedback
+// (TWCC/CCFB/RTCP) flows downlink, so Downlink-only windows starve the
+// congestion controllers without touching the media path.
+type Direction int
+
+// Directions.
+const (
+	Both Direction = iota
+	Uplink
+	Downlink
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Uplink:
+		return "up"
+	case Downlink:
+		return "down"
+	default:
+		return "both"
+	}
+}
+
+// Window is one scripted outage: the link(s) in Dir deliver nothing in
+// [Start, Start+Duration).
+type Window struct {
+	Start    time.Duration
+	Duration time.Duration
+	Dir      Direction
+}
+
+// End returns the instant service resumes.
+func (w Window) End() time.Duration { return w.Start + w.Duration }
+
+// ParseSchedule parses a comma-separated scripted outage schedule. Each
+// element is start+duration with an optional direction suffix:
+//
+//	"45s+2s"              both directions dark for 2 s at t=45 s
+//	"45s+2s,90s+500ms/down"  plus a feedback-only blackout at t=90 s
+//
+// Suffixes are /up, /down and /both (the default).
+func ParseSchedule(spec string) ([]Window, error) {
+	var out []Window
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		w := Window{Dir: Both}
+		if i := strings.IndexByte(field, '/'); i >= 0 {
+			switch field[i+1:] {
+			case "up":
+				w.Dir = Uplink
+			case "down":
+				w.Dir = Downlink
+			case "both":
+				w.Dir = Both
+			default:
+				return nil, fmt.Errorf("fault: bad direction %q in %q (want up, down or both)", field[i+1:], field)
+			}
+			field = field[:i]
+		}
+		start, dur, ok := strings.Cut(field, "+")
+		if !ok {
+			return nil, fmt.Errorf("fault: bad window %q (want start+duration, e.g. 45s+2s)", field)
+		}
+		var err error
+		if w.Start, err = time.ParseDuration(start); err != nil {
+			return nil, fmt.Errorf("fault: bad start in %q: %v", field, err)
+		}
+		if w.Duration, err = time.ParseDuration(dur); err != nil {
+			return nil, fmt.Errorf("fault: bad duration in %q: %v", field, err)
+		}
+		if w.Start < 0 || w.Duration <= 0 {
+			return nil, fmt.Errorf("fault: window %q must have start ≥ 0 and duration > 0", field)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// Config arms the fault layer. The zero value disables everything; the
+// graceful-degradation flags (Watchdog, KeyframeRecovery, the re-
+// establishment queue policy) only take effect when Enabled.
+type Config struct {
+	// Windows are scripted outages (coverage holes); they apply on top of
+	// any RLF-driven interruptions.
+	Windows []Window
+	// RLF enables the radio-link-failure model in the cell machine:
+	// Qout/Qin thresholds with T310/T311 timers and HET-outlier handover
+	// failures, each producing a multi-second re-establishment blackout.
+	RLF bool
+	// Watchdog enables the controllers' feedback-starvation watchdog:
+	// after WatchdogTimeout without feedback the rate freezes to the floor
+	// and probing stops; recovery re-probes under exponential backoff.
+	Watchdog bool
+	// WatchdogTimeout overrides the starvation threshold (750 ms when
+	// zero — ≈15 TWCC intervals).
+	WatchdogTimeout time.Duration
+	// KeyframeRecovery enables the player's post-outage keyframe request
+	// and the decode-error-propagation SSIM model (§5 error concealment).
+	KeyframeRecovery bool
+	// FreezeQueue keeps queued packets across an interruption instead of
+	// the default drop-stale-at-re-establishment behaviour.
+	FreezeQueue bool
+	// StaleAfter is the queue age dropped when service resumes (600 ms
+	// when zero; ignored under FreezeQueue).
+	StaleAfter time.Duration
+}
+
+// Enabled reports whether any fault source is armed.
+func (c Config) Enabled() bool { return len(c.Windows) > 0 || c.RLF }
+
+// span is one merged half-open outage interval.
+type span struct{ from, to time.Duration }
+
+// Line is one link direction's view of a scripted schedule: the sorted,
+// merged windows that silence that direction.
+type Line struct {
+	spans []span
+}
+
+// NewLine filters the windows that apply to dir, sorts and merges them.
+// It returns nil when none apply, which Blocked treats as never blocked.
+func NewLine(ws []Window, dir Direction) *Line {
+	var spans []span
+	for _, w := range ws {
+		if w.Duration <= 0 {
+			continue
+		}
+		if w.Dir == Both || w.Dir == dir {
+			spans = append(spans, span{from: w.Start, to: w.End()})
+		}
+	}
+	if len(spans) == 0 {
+		return nil
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].from < spans[j].from })
+	merged := spans[:1]
+	for _, s := range spans[1:] {
+		last := &merged[len(merged)-1]
+		if s.from <= last.to {
+			if s.to > last.to {
+				last.to = s.to
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	return &Line{spans: merged}
+}
+
+// Blocked reports whether the line is silenced at now, and until when.
+func (l *Line) Blocked(now time.Duration) (until time.Duration, blocked bool) {
+	if l == nil {
+		return 0, false
+	}
+	for _, s := range l.spans {
+		if now < s.from {
+			return 0, false
+		}
+		if now < s.to {
+			return s.to, true
+		}
+	}
+	return 0, false
+}
+
+// Kind classifies a fault episode.
+type Kind int
+
+// Episode kinds.
+const (
+	// KindScripted is a configured outage window.
+	KindScripted Kind = iota
+	// KindRLF is a radio-link failure (T310 expiry on serving RSRP).
+	KindRLF
+	// KindHandoverFailure is a botched handover that forced RRC
+	// re-establishment.
+	KindHandoverFailure
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRLF:
+		return "rlf"
+	case KindHandoverFailure:
+		return "ho-failure"
+	default:
+		return "scripted"
+	}
+}
+
+// Episode is one realized outage in a run's timeline.
+type Episode struct {
+	Start, End time.Duration
+	Kind       Kind
+	// Dir is which side went dark (RLF episodes silence both).
+	Dir Direction
+}
+
+// Length returns the episode duration.
+func (e Episode) Length() time.Duration { return e.End - e.Start }

@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseSchedule(t *testing.T) {
+	ws, err := ParseSchedule("45s+2s, 90s+500ms/down ,120s+1s/up")
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	want := []Window{
+		{Start: 45 * time.Second, Duration: 2 * time.Second, Dir: Both},
+		{Start: 90 * time.Second, Duration: 500 * time.Millisecond, Dir: Downlink},
+		{Start: 120 * time.Second, Duration: time.Second, Dir: Uplink},
+	}
+	if len(ws) != len(want) {
+		t.Fatalf("got %d windows, want %d", len(ws), len(want))
+	}
+	for i := range want {
+		if ws[i] != want[i] {
+			t.Errorf("window %d: got %+v, want %+v", i, ws[i], want[i])
+		}
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, spec := range []string{
+		"45s",          // no duration
+		"45s+2s/side",  // bad direction
+		"xyz+2s",       // bad start
+		"45s+xyz",      // bad duration
+		"-1s+2s",       // negative start
+		"45s+0s",       // zero duration
+		"45s+2s,45s+w", // error in second element
+	} {
+		if _, err := ParseSchedule(spec); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error", spec)
+		}
+	}
+	if ws, err := ParseSchedule(""); err != nil || len(ws) != 0 {
+		t.Errorf("empty spec: got %v windows, err %v", ws, err)
+	}
+}
+
+func TestLineDirectionFiltering(t *testing.T) {
+	ws := []Window{
+		{Start: 10 * time.Second, Duration: time.Second, Dir: Both},
+		{Start: 20 * time.Second, Duration: time.Second, Dir: Uplink},
+		{Start: 30 * time.Second, Duration: time.Second, Dir: Downlink},
+	}
+	up := NewLine(ws, Uplink)
+	down := NewLine(ws, Downlink)
+
+	check := func(l *Line, at time.Duration, wantBlocked bool, name string) {
+		t.Helper()
+		if _, blocked := l.Blocked(at); blocked != wantBlocked {
+			t.Errorf("%s.Blocked(%v) = %v, want %v", name, at, blocked, wantBlocked)
+		}
+	}
+	check(up, 10500*time.Millisecond, true, "up")     // Both window
+	check(down, 10500*time.Millisecond, true, "down") // Both window
+	check(up, 20500*time.Millisecond, true, "up")
+	check(down, 20500*time.Millisecond, false, "down")
+	check(up, 30500*time.Millisecond, false, "up")
+	check(down, 30500*time.Millisecond, true, "down")
+	check(up, 5*time.Second, false, "up")
+	check(up, 50*time.Second, false, "up")
+}
+
+func TestLineMergesOverlaps(t *testing.T) {
+	ws := []Window{
+		{Start: 10 * time.Second, Duration: 2 * time.Second},
+		{Start: 11 * time.Second, Duration: 3 * time.Second}, // overlaps → [10,14)
+		{Start: 20 * time.Second, Duration: time.Second},
+	}
+	l := NewLine(ws, Uplink)
+	until, blocked := l.Blocked(11 * time.Second)
+	if !blocked || until != 14*time.Second {
+		t.Errorf("Blocked(11s) = (%v, %v), want (14s, true)", until, blocked)
+	}
+	if _, blocked := l.Blocked(14 * time.Second); blocked {
+		t.Error("Blocked at merged window end, want clear (half-open interval)")
+	}
+	if until, blocked := l.Blocked(20 * time.Second); !blocked || until != 21*time.Second {
+		t.Errorf("Blocked(20s) = (%v, %v), want (21s, true)", until, blocked)
+	}
+}
+
+func TestLineNilAndEmpty(t *testing.T) {
+	var l *Line
+	if _, blocked := l.Blocked(time.Second); blocked {
+		t.Error("nil line reports blocked")
+	}
+	if NewLine(nil, Uplink) != nil {
+		t.Error("NewLine with no windows should return nil")
+	}
+	if NewLine([]Window{{Start: 1, Duration: 1, Dir: Downlink}}, Uplink) != nil {
+		t.Error("NewLine with no applicable windows should return nil")
+	}
+}
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero Config reports enabled")
+	}
+	if !(Config{RLF: true}).Enabled() {
+		t.Error("RLF-only Config reports disabled")
+	}
+	if !(Config{Windows: []Window{{Duration: time.Second}}}).Enabled() {
+		t.Error("windowed Config reports disabled")
+	}
+}
+
+func TestEpisodeLength(t *testing.T) {
+	ep := Episode{Start: 2 * time.Second, End: 5 * time.Second, Kind: KindRLF}
+	if ep.Length() != 3*time.Second {
+		t.Errorf("Length = %v, want 3s", ep.Length())
+	}
+	for k, want := range map[Kind]string{KindScripted: "scripted", KindRLF: "rlf", KindHandoverFailure: "ho-failure"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	for d, want := range map[Direction]string{Both: "both", Uplink: "up", Downlink: "down"} {
+		if d.String() != want {
+			t.Errorf("Direction(%d).String() = %q, want %q", d, d.String(), want)
+		}
+	}
+}

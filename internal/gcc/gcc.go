@@ -33,6 +33,12 @@ type Config struct {
 	// UseTrendline selects the linear-regression trendline estimator
 	// (modern WebRTC) instead of the Kalman filter of the paper-era GCC.
 	UseTrendline bool
+	// FeedbackTimeout arms the feedback-starvation watchdog: after this
+	// long without TWCC the target freezes at MinRate and probing stops;
+	// when feedback returns the controller restarts from the floor under
+	// exponential probe backoff. Zero disables the watchdog (the
+	// pre-fault-injection behaviour: probe blindly through an outage).
+	FeedbackTimeout time.Duration
 }
 
 func (c *Config) defaults() {
@@ -89,6 +95,9 @@ type Controller struct {
 
 	numDeltas  int
 	lastSignal Signal
+
+	// wd is the feedback-starvation watchdog; nil when disabled.
+	wd *cc.Watchdog
 }
 
 var _ cc.Controller = (*Controller)(nil)
@@ -108,6 +117,9 @@ func New(cfg Config) *Controller {
 	if cfg.UseTrendline {
 		c.trend = newTrendline()
 	}
+	if cfg.FeedbackTimeout > 0 {
+		c.wd = cc.NewWatchdog(cfg.FeedbackTimeout)
+	}
 	return c
 }
 
@@ -118,12 +130,19 @@ func (c *Controller) Name() string { return "gcc" }
 // which already carries the send times.
 func (c *Controller) OnPacketSent(cc.SentPacket) {}
 
-// TargetBitrate implements cc.Controller.
-func (c *Controller) TargetBitrate(time.Duration) float64 { return c.target }
+// TargetBitrate implements cc.Controller. A starved feedback path (link
+// outage) freezes the target at the floor: probing blindly into a dead
+// link only deepens the backlog the re-established radio must drain.
+func (c *Controller) TargetBitrate(now time.Duration) float64 {
+	if c.wd.Starved(now) {
+		return c.cfg.MinRate
+	}
+	return c.target
+}
 
 // PacingRate implements cc.Controller.
-func (c *Controller) PacingRate(time.Duration) float64 {
-	return c.target * c.cfg.PacingFactor
+func (c *Controller) PacingRate(now time.Duration) float64 {
+	return c.TargetBitrate(now) * c.cfg.PacingFactor
 }
 
 // CanSend implements cc.Controller: GCC is purely rate-based.
@@ -171,6 +190,16 @@ func (c *Controller) receiveRate(latestArrival time.Duration) float64 {
 
 // OnFeedback implements cc.Controller: it ingests one TWCC report.
 func (c *Controller) OnFeedback(now time.Duration, acks []cc.Ack) {
+	if c.wd.OnFeedback(now) {
+		// Feedback returned after a starvation episode: whatever the
+		// estimators believed about the pre-outage path is stale. Restart
+		// from the floor; the backoff clamp below holds it there.
+		c.aimd.resetTo(c.cfg.MinRate, now)
+		c.loss.rate = c.cfg.MinRate
+		c.target = c.cfg.MinRate
+		c.prev, c.cur = group{}, group{}
+		c.recv = c.recv[:0]
+	}
 	if len(acks) == 0 {
 		return
 	}
@@ -223,6 +252,14 @@ func (c *Controller) OnFeedback(now time.Duration, acks []cc.Ack) {
 		c.target = c.cfg.MinRate
 	} else if c.target > c.cfg.MaxRate {
 		c.target = c.cfg.MaxRate
+	}
+
+	if c.wd.InBackoff(now) {
+		// Post-recovery probe hold: pin both estimators to the floor until
+		// the backoff window ends, then ramp normally.
+		c.aimd.resetTo(c.cfg.MinRate, now)
+		c.loss.rate = c.cfg.MinRate
+		c.target = c.cfg.MinRate
 	}
 }
 

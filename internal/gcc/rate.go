@@ -68,6 +68,19 @@ func newAIMD(initial, min, max float64) *aimd {
 	}
 }
 
+// resetTo rebases the controller at rate with no convergence history — the
+// post-outage restart: the pre-outage region says nothing about the
+// re-established radio.
+func (a *aimd) resetTo(rate float64, now time.Duration) {
+	if rate < a.minRate {
+		rate = a.minRate
+	}
+	a.rate = rate
+	a.state = stateHold
+	a.avgMaxSet = false
+	a.lastUpdate = now
+}
+
 // setRTT updates the response time estimate (RTT plus the over-use
 // detection latency).
 func (a *aimd) setRTT(rtt time.Duration) {

@@ -1,0 +1,193 @@
+package link
+
+import (
+	"testing"
+	"time"
+
+	"rpivideo/internal/fault"
+	"rpivideo/internal/sim"
+)
+
+// checkConservation asserts the packet-conservation invariant for both
+// planes: every offered packet is exactly one of delivered, lost, overflowed,
+// AQM-dropped, stale-flushed, still queued, or in flight.
+func checkConservation(t *testing.T, l *Link, label string) {
+	t.Helper()
+	qm, qc := l.QueuedPackets()
+	fm, fc := l.InFlightPackets()
+	if got := l.Delivered + l.Lost + l.Overflows + l.AQMDrops + l.StaleDrops + qm + fm; got != l.Sent {
+		t.Errorf("%s: media conservation broken: sent=%d but delivered=%d lost=%d overflow=%d aqm=%d stale=%d queued=%d inflight=%d (sum %d)",
+			label, l.Sent, l.Delivered, l.Lost, l.Overflows, l.AQMDrops, l.StaleDrops, qm, fm, got)
+	}
+	if got := l.CtrlDelivered + l.CtrlLost + qc + fc; got != l.CtrlSent {
+		t.Errorf("%s: control conservation broken: sent=%d but delivered=%d lost=%d queued=%d inflight=%d (sum %d)",
+			label, l.CtrlSent, l.CtrlDelivered, l.CtrlLost, qc, fc, got)
+	}
+}
+
+// faultSchedules are the scripted outage shapes the conservation test sweeps.
+var faultSchedules = map[string][]fault.Window{
+	"none":      nil,
+	"mid":       {{Start: 2 * time.Second, Duration: time.Second, Dir: fault.Both}},
+	"from-zero": {{Start: 0, Duration: 1500 * time.Millisecond, Dir: fault.Both}},
+	"double": {
+		{Start: time.Second, Duration: 500 * time.Millisecond, Dir: fault.Both},
+		{Start: 3 * time.Second, Duration: 800 * time.Millisecond, Dir: fault.Both},
+	},
+	// Outage still open when the run ends: packets stay queued.
+	"unfinished": {{Start: 4 * time.Second, Duration: time.Hour, Dir: fault.Both}},
+}
+
+func TestConservationUnderFaults(t *testing.T) {
+	for name, ws := range faultSchedules {
+		for _, freeze := range []bool{false, true} {
+			label := name + "/flush"
+			if freeze {
+				label = name + "/freeze"
+			}
+			s := sim.New(7)
+			p := cleanProfile()
+			p.PER = 0.01
+			p.MeanBurstLen = 3
+			p.JitterSigma = 2 * time.Millisecond
+			p.BufferBytes = 100_000 // small: overflows during the outage
+			l := New(s, p, nil, nil, s.Stream("link"))
+			l.Deliver = func(any, int, time.Duration, time.Duration) {}
+			l.SetFaults(fault.NewLine(ws, fault.Uplink), !freeze, 0)
+			for at := time.Duration(0); at < 5*time.Second; at += 3 * time.Millisecond {
+				at := at
+				s.At(at, func() {
+					l.Send(nil, 1200)
+					if at%(50*time.Millisecond) == 0 {
+						l.SendControl(nil, 80)
+					}
+				})
+			}
+			// Terminate mid-run — possibly mid-outage — and check the books.
+			s.RunUntil(5 * time.Second)
+			checkConservation(t, l, label)
+			if name == "unfinished" {
+				if qm, _ := l.QueuedPackets(); qm == 0 {
+					t.Errorf("%s: expected packets stranded in the queue at termination", label)
+				}
+			}
+			// Then drain completely (the unfinished window never closes, so
+			// only the finite schedules fully drain).
+			if name != "unfinished" {
+				s.Run()
+				checkConservation(t, l, label+"/drained")
+				if qm, qc := l.QueuedPackets(); qm != 0 || qc != 0 {
+					t.Errorf("%s: queue not drained: media=%d ctrl=%d", label, qm, qc)
+				}
+			}
+		}
+	}
+}
+
+// TestNoBusyPollDuringOutage is the no-busy-polling acceptance check: a link
+// silenced by a scripted window schedules exactly one simulator event — the
+// resume — between outage start and end, instead of a 5 ms retry loop.
+func TestNoBusyPollDuringOutage(t *testing.T) {
+	s := sim.New(1)
+	l := New(s, cleanProfile(), nil, nil, s.Stream("link"))
+	l.Deliver = func(any, int, time.Duration, time.Duration) {}
+	l.SetFaults(fault.NewLine([]fault.Window{
+		{Start: 0, Duration: 3 * time.Second, Dir: fault.Both},
+	}, fault.Uplink), true, 0)
+
+	s.At(500*time.Millisecond, func() { l.Send(nil, 1200) })
+	pending := -1
+	s.At(2*time.Second, func() { pending = s.Pending() })
+	s.Run()
+	// At t=2 s the send has fired and the probe event has been popped; the
+	// only event left must be the single resume at t=3 s.
+	if pending != 1 {
+		t.Fatalf("pending events mid-outage = %d, want exactly 1 (the resume event)", pending)
+	}
+	if l.Delivered != 0 && l.StaleDrops != 1 {
+		t.Fatalf("packet neither held nor flushed: delivered=%d stale=%d", l.Delivered, l.StaleDrops)
+	}
+}
+
+// TestStaleFlushOnResume: with flushing on, packets that sat out the blackout
+// are discarded at re-establishment; with freezing, they are delivered late.
+func TestStaleFlushOnResume(t *testing.T) {
+	run := func(flush bool) (delivered, stale int) {
+		s := sim.New(3)
+		l := New(s, cleanProfile(), nil, nil, s.Stream("link"))
+		l.Deliver = func(any, int, time.Duration, time.Duration) {}
+		l.SetFaults(fault.NewLine([]fault.Window{
+			{Start: 100 * time.Millisecond, Duration: 2 * time.Second, Dir: fault.Both},
+		}, fault.Uplink), flush, 600*time.Millisecond)
+		for i := 0; i < 20; i++ {
+			at := 150*time.Millisecond + time.Duration(i)*10*time.Millisecond
+			s.At(at, func() { l.Send(nil, 1200) })
+		}
+		s.Run()
+		return l.Delivered, l.StaleDrops
+	}
+	if delivered, stale := run(true); stale != 20 || delivered != 0 {
+		t.Errorf("flush: delivered=%d stale=%d, want 0/20", delivered, stale)
+	}
+	if delivered, stale := run(false); stale != 0 || delivered != 20 {
+		t.Errorf("freeze: delivered=%d stale=%d, want 20/0", delivered, stale)
+	}
+}
+
+// TestMonotonicDelivery: jitter widens inter-arrival gaps but never reorders
+// within the bearer (RLC in-order delivery).
+func TestMonotonicDelivery(t *testing.T) {
+	s := sim.New(11)
+	p := cleanProfile()
+	p.JitterSigma = 30 * time.Millisecond // far above the 1 ms serialization gap
+	l := New(s, p, nil, nil, s.Stream("link"))
+	var arrivals []time.Duration
+	var order []int
+	l.Deliver = func(meta any, size int, sentAt, at time.Duration) {
+		arrivals = append(arrivals, at)
+		order = append(order, meta.(int))
+	}
+	for i := 0; i < 200; i++ {
+		i := i
+		s.At(time.Duration(i)*2*time.Millisecond, func() { l.Send(i, 1200) })
+	}
+	s.Run()
+	if len(arrivals) != 200 {
+		t.Fatalf("delivered %d of 200", len(arrivals))
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] < arrivals[i-1] {
+			t.Fatalf("arrival %d at %v precedes arrival %d at %v", i, arrivals[i], i-1, arrivals[i-1])
+		}
+		if order[i] != order[i-1]+1 {
+			t.Fatalf("delivery reordered: %d after %d", order[i], order[i-1])
+		}
+	}
+}
+
+// TestDirectionalOutage: an uplink-only window leaves a downlink-filtered
+// line untouched.
+func TestDirectionalOutage(t *testing.T) {
+	ws := []fault.Window{{Start: 0, Duration: time.Second, Dir: fault.Uplink}}
+	s := sim.New(5)
+	up := New(s, cleanProfile(), nil, nil, s.Stream("up"))
+	down := New(s, cleanProfile(), nil, nil, s.Stream("down"))
+	up.Deliver = func(any, int, time.Duration, time.Duration) {}
+	down.Deliver = func(any, int, time.Duration, time.Duration) {}
+	up.SetFaults(fault.NewLine(ws, fault.Uplink), false, 0)
+	down.SetFaults(fault.NewLine(ws, fault.Downlink), false, 0)
+	s.At(100*time.Millisecond, func() {
+		up.Send(nil, 1200)
+		down.Send(nil, 1200)
+	})
+	var upAt, downAt time.Duration
+	up.Deliver = func(_ any, _ int, _, at time.Duration) { upAt = at }
+	down.Deliver = func(_ any, _ int, _, at time.Duration) { downAt = at }
+	s.Run()
+	if downAt >= 200*time.Millisecond {
+		t.Errorf("downlink delivery at %v, want unaffected (~121 ms)", downAt)
+	}
+	if upAt < time.Second {
+		t.Errorf("uplink delivery at %v, want held until the window closes at 1 s", upAt)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rpivideo/internal/cell"
+	"rpivideo/internal/fault"
 	"rpivideo/internal/flight"
 	"rpivideo/internal/sim"
 )
@@ -27,6 +28,10 @@ const (
 	DropOverflow
 	// DropAQM is a CoDel head drop by the active queue manager.
 	DropAQM
+	// DropStale is a queued packet flushed at re-establishment after an
+	// outage: RRC re-establishment discards the stale RLC/PDCP backlog
+	// rather than replaying dead video.
+	DropStale
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +41,8 @@ func (r DropReason) String() string {
 		return "loss"
 	case DropAQM:
 		return "aqm"
+	case DropStale:
+		return "stale"
 	default:
 		return "overflow"
 	}
@@ -50,6 +57,17 @@ type Link struct {
 	// machine supplies handover interruptions and radio degradation; nil
 	// for a static (no-mobility) link.
 	machine *cell.Machine
+	// faults is this direction's scripted outage line; nil means none.
+	faults *fault.Line
+	// flushStale drops queued packets older than staleAfter when an
+	// interruption ends; pendingFlush remembers that an interruption was
+	// observed so the flush runs exactly once at resume.
+	flushStale   bool
+	staleAfter   time.Duration
+	pendingFlush bool
+	// lastArrival enforces RLC in-order delivery: per-packet jitter never
+	// reorders arrivals within the bearer.
+	lastArrival time.Duration
 	// state supplies the vehicle state for altitude effects; nil means
 	// ground level.
 	state func(time.Duration) flight.State
@@ -87,6 +105,14 @@ type Link struct {
 	// AQMDrops counts CoDel head drops of media packets.
 	AQMDrops int
 
+	// StaleDrops counts media packets flushed at re-establishment (stale
+	// control packets fold into CtrlLost).
+	StaleDrops int
+
+	// In-flight packets: serialized, propagation delay pending.
+	inFlight     int
+	ctrlInFlight int
+
 	// Media counters. Only packets offered via Send count here, so PER and
 	// overflow statistics derived from them are media-only (the paper's
 	// §4.1 PER excludes RTCP).
@@ -118,6 +144,20 @@ type queued struct {
 // New returns a link on the given simulator. machine and state may be nil.
 func New(s *sim.Simulator, prof Profile, machine *cell.Machine, state func(time.Duration) flight.State, rng *rand.Rand) *Link {
 	return &Link{sim: s, prof: prof, rng: rng, machine: machine, state: state}
+}
+
+// SetFaults attaches a scripted outage line (may be nil) and the
+// re-establishment queue policy: when flush is true, packets that queued
+// more than staleAfter ago are dropped the moment service resumes after
+// any interruption — scripted, RLF or handover. staleAfter ≤ 0 selects
+// 600 ms.
+func (l *Link) SetFaults(line *fault.Line, flush bool, staleAfter time.Duration) {
+	l.faults = line
+	l.flushStale = flush
+	if staleAfter <= 0 {
+		staleAfter = 600 * time.Millisecond
+	}
+	l.staleAfter = staleAfter
 }
 
 // Capacity returns the current effective capacity in bits/s (before
@@ -248,11 +288,39 @@ func (l *Link) send(meta any, size int, ctrl bool) {
 // control).
 func (l *Link) QueueBytes() int { return l.queueBytes + l.ctrlQueueBytes }
 
-// QueueDelay estimates the buffer drain time at the current capacity.
+// QueuedPackets returns the packets waiting in the bottleneck queue,
+// media and control planes separately.
+func (l *Link) QueuedPackets() (media, ctrl int) {
+	for _, p := range l.queue {
+		if p.ctrl {
+			ctrl++
+		} else {
+			media++
+		}
+	}
+	return media, ctrl
+}
+
+// InFlightPackets returns the packets that finished serialization but have
+// not yet been delivered (propagation delay pending), per plane.
+func (l *Link) InFlightPackets() (media, ctrl int) { return l.inFlight, l.ctrlInFlight }
+
+// QueueDelay estimates the buffer drain time at the current effective
+// capacity, handover/degradation windows included. The capacity is floored
+// (at the profile's MinCapacity, or 1% of MeanCapacity if unset) so an
+// interrupted link reports a large-but-finite backlog instead of dividing
+// by zero.
 func (l *Link) QueueDelay() time.Duration {
-	c := l.capacity(l.sim.Now())
-	if c <= 0 {
-		return 0
+	c := l.effectiveCapacity(l.sim.Now())
+	floor := l.prof.MinCapacity
+	if floor <= 0 {
+		floor = 0.01 * l.prof.MeanCapacity
+	}
+	if floor < 1 {
+		floor = 1
+	}
+	if c < floor {
+		c = floor
 	}
 	return time.Duration(float64(l.QueueBytes()*8) / c * float64(time.Second))
 }
@@ -271,9 +339,33 @@ func (l *Link) dequeueHead() queued {
 	return head
 }
 
+// interruption reports whether the link is silenced at now — handover
+// execution, RLF re-establishment (both via the machine's busy window) or
+// a scripted fault window — and the earliest instant service can resume.
+func (l *Link) interruption(now time.Duration) (resume time.Duration, down bool) {
+	resume = now
+	if l.machine != nil && l.machine.InHandover(now) {
+		down = true
+		if bu := l.machine.BusyUntil(); bu > resume {
+			resume = bu
+		}
+	}
+	if until, blocked := l.faults.Blocked(now); blocked {
+		down = true
+		if until > resume {
+			resume = until
+		}
+	}
+	if down && resume <= now {
+		resume = now + time.Millisecond
+	}
+	return resume, down
+}
+
 // serveNext serves the head-of-line packet. Service is event-driven: the
-// serialization time comes from the current effective capacity; an
-// interrupted link retries when the handover execution window ends.
+// serialization time comes from the current effective capacity, and an
+// interrupted link schedules exactly one resume event at the end of the
+// interruption — no polling while the radio is dead.
 func (l *Link) serveNext() {
 	if len(l.queue) == 0 {
 		l.serving = false
@@ -282,19 +374,26 @@ func (l *Link) serveNext() {
 	l.serving = true
 	now := l.sim.Now()
 
-	// Handover execution: the radio is silent; resume when it ends.
-	if l.machine != nil && l.machine.InHandover(now) {
-		resume := l.machine.BusyUntil()
-		if resume <= now {
-			resume = now + time.Millisecond
-		}
+	if resume, down := l.interruption(now); down {
+		l.pendingFlush = l.flushStale
 		l.sim.At(resume, l.serveNext)
 		return
+	}
+	if l.pendingFlush {
+		// Service resumed after an interruption: discard the stale backlog
+		// before serving (see SetFaults).
+		l.pendingFlush = false
+		l.dropStaleQueue(now)
+		if len(l.queue) == 0 {
+			l.serving = false
+			return
+		}
 	}
 
 	c := l.effectiveCapacity(now)
 	if c <= 0 {
-		// Degraded to nothing: poll again shortly.
+		// Degraded to nothing outside any interruption window (only a
+		// pathological profile gets here): retry shortly.
 		l.sim.After(5*time.Millisecond, l.serveNext)
 		return
 	}
@@ -409,18 +508,58 @@ func (l *Link) outlierStall(now time.Duration) bool {
 	return false
 }
 
+// dropStaleQueue drops queued packets older than staleAfter. Stale media
+// counts in StaleDrops (reported as DropStale); stale control folds into
+// CtrlLost like other control-plane losses.
+func (l *Link) dropStaleQueue(now time.Duration) {
+	keep := l.queue[:0]
+	for _, pkt := range l.queue {
+		if now-pkt.sentAt > l.staleAfter {
+			if pkt.ctrl {
+				l.ctrlQueueBytes -= pkt.size
+				l.CtrlLost++
+			} else {
+				l.queueBytes -= pkt.size
+				l.StaleDrops++
+				if l.OnDrop != nil {
+					l.OnDrop(pkt.meta, pkt.size, pkt.sentAt, DropStale)
+				}
+			}
+			continue
+		}
+		keep = append(keep, pkt)
+	}
+	for i := len(keep); i < len(l.queue); i++ {
+		l.queue[i] = queued{} // release dropped metas
+	}
+	l.queue = keep
+}
+
 // deliver schedules the packet's arrival after propagation delay and
-// per-packet jitter.
+// per-packet jitter. Arrivals are clamped monotonic per link: RLC delivers
+// in order within the bearer, so jitter widens gaps but never reorders.
 func (l *Link) deliver(pkt queued) {
 	delay := l.prof.BaseOWD
 	if l.prof.JitterSigma > 0 {
 		j := time.Duration(math.Abs(l.rng.NormFloat64()) * float64(l.prof.JitterSigma))
 		delay += j
 	}
-	l.sim.After(delay, func() {
+	at := l.sim.Now() + delay
+	if at < l.lastArrival {
+		at = l.lastArrival
+	}
+	l.lastArrival = at
+	if pkt.ctrl {
+		l.ctrlInFlight++
+	} else {
+		l.inFlight++
+	}
+	l.sim.At(at, func() {
 		if pkt.ctrl {
+			l.ctrlInFlight--
 			l.CtrlDelivered++
 		} else {
+			l.inFlight--
 			l.Delivered++
 		}
 		l.Deliver(pkt.meta, pkt.size, pkt.sentAt, l.sim.Now())

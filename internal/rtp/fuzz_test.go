@@ -1,0 +1,169 @@
+package rtp
+
+import (
+	"testing"
+	"time"
+)
+
+// fuzzSeed adds buf plus a few truncations of it to the corpus.
+func fuzzSeed(f *testing.F, buf []byte) {
+	f.Helper()
+	f.Add(buf)
+	for _, n := range []int{0, 1, len(buf) / 2, len(buf) - 1} {
+		if n >= 0 && n < len(buf) {
+			f.Add(buf[:n])
+		}
+	}
+}
+
+// FuzzTWCCUnmarshal feeds arbitrary bytes to the TWCC parser: it must never
+// panic, and whatever it accepts must survive a marshal→unmarshal roundtrip.
+func FuzzTWCCUnmarshal(f *testing.F) {
+	valid := &TWCC{
+		SenderSSRC: 0x1234, MediaSSRC: 0x5678, BaseSeq: 100, FbPktCount: 3,
+		Packets: []Arrival{
+			{Received: true, At: 640 * time.Millisecond},
+			{Received: false},
+			{Received: true, At: 645 * time.Millisecond},
+			{Received: true, At: 900 * time.Millisecond},
+		},
+	}
+	if buf, err := valid.Marshal(); err == nil {
+		fuzzSeed(f, buf)
+	}
+	long := &TWCC{SenderSSRC: 1, MediaSSRC: 2, BaseSeq: 65530, Packets: make([]Arrival, 100)}
+	for i := range long.Packets {
+		if i%3 != 0 {
+			long.Packets[i] = Arrival{Received: true, At: 64*time.Millisecond + time.Duration(i)*deltaUnit}
+		}
+	}
+	if buf, err := long.Marshal(); err == nil {
+		fuzzSeed(f, buf)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fb TWCC
+		if err := fb.Unmarshal(data); err != nil {
+			return
+		}
+		// Accepted input: the parsed packet must re-marshal and parse back
+		// to the same reception pattern.
+		out, err := fb.Marshal()
+		if err != nil {
+			// Some accepted packets are unmarshalable only because of delta
+			// overflow limits; that is fine as long as parsing didn't panic.
+			return
+		}
+		var fb2 TWCC
+		if err := fb2.Unmarshal(out); err != nil {
+			t.Fatalf("re-marshaled packet rejected: %v", err)
+		}
+		if fb2.BaseSeq != fb.BaseSeq || len(fb2.Packets) != len(fb.Packets) {
+			t.Fatalf("roundtrip changed shape: base %d→%d, %d→%d packets",
+				fb.BaseSeq, fb2.BaseSeq, len(fb.Packets), len(fb2.Packets))
+		}
+		for i := range fb.Packets {
+			if fb.Packets[i].Received != fb2.Packets[i].Received {
+				t.Fatalf("roundtrip changed reception of packet %d", i)
+			}
+		}
+	})
+}
+
+// FuzzCCFBUnmarshal feeds arbitrary bytes to the RFC 8888 parser.
+func FuzzCCFBUnmarshal(f *testing.F) {
+	valid := &CCFB{
+		SenderSSRC: 0xABCD,
+		Timestamp:  2 * time.Second,
+		Reports: []CCFBReport{{
+			SSRC: 0x1234, BeginSeq: 500,
+			Metrics: []CCFBMetric{
+				{Received: true, ArrivalOffset: 30 * time.Millisecond},
+				{Received: false},
+				{Received: true, ECN: 1, ArrivalOffset: 10 * time.Millisecond},
+			},
+		}},
+	}
+	if buf, err := valid.Marshal(); err == nil {
+		fuzzSeed(f, buf)
+	}
+	two := &CCFB{SenderSSRC: 7, Timestamp: time.Second, Reports: []CCFBReport{
+		{SSRC: 1, BeginSeq: 65535, Metrics: []CCFBMetric{{Received: true}}},
+		{SSRC: 2, BeginSeq: 0, Metrics: []CCFBMetric{{Received: true, ArrivalOffset: time.Second}, {}}},
+	}}
+	if buf, err := two.Marshal(); err == nil {
+		fuzzSeed(f, buf)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fb CCFB
+		if err := fb.Unmarshal(data); err != nil {
+			return
+		}
+		out, err := fb.Marshal()
+		if err != nil {
+			return
+		}
+		var fb2 CCFB
+		if err := fb2.Unmarshal(out); err != nil {
+			t.Fatalf("re-marshaled packet rejected: %v", err)
+		}
+		if len(fb2.Reports) != len(fb.Reports) {
+			t.Fatalf("roundtrip changed report count %d→%d", len(fb.Reports), len(fb2.Reports))
+		}
+		for i := range fb.Reports {
+			if fb2.Reports[i].BeginSeq != fb.Reports[i].BeginSeq ||
+				len(fb2.Reports[i].Metrics) != len(fb.Reports[i].Metrics) {
+				t.Fatalf("roundtrip changed report %d shape", i)
+			}
+		}
+	})
+}
+
+// FuzzRTCPReports feeds arbitrary bytes to the SR and RR parsers.
+func FuzzRTCPReports(f *testing.F) {
+	sr := &SenderReport{SSRC: 0x1234, NTPTime: 90 * time.Second, RTPTime: 81000,
+		PacketCount: 1000, OctetCount: 1_200_000}
+	if buf, err := sr.Marshal(); err == nil {
+		fuzzSeed(f, buf)
+	}
+	rr := &ReceiverReport{SSRC: 0x5678, Blocks: []ReportBlock{{
+		SSRC: 0x1234, FractionLost: 12, CumulativeLost: 345,
+		HighestSeq: 7000, Jitter: 90, LastSR: 0x11223344, DelaySinceLastSR: 0x100,
+	}}}
+	if buf, err := rr.Marshal(); err == nil {
+		fuzzSeed(f, buf)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s SenderReport
+		if err := s.Unmarshal(data); err == nil {
+			out, err := s.Marshal()
+			if err != nil {
+				t.Fatalf("accepted SR fails to marshal: %v", err)
+			}
+			var s2 SenderReport
+			if err := s2.Unmarshal(out); err != nil {
+				t.Fatalf("re-marshaled SR rejected: %v", err)
+			}
+			if s2.SSRC != s.SSRC || s2.RTPTime != s.RTPTime ||
+				s2.PacketCount != s.PacketCount || s2.OctetCount != s.OctetCount {
+				t.Fatal("SR roundtrip changed fields")
+			}
+		}
+		var r ReceiverReport
+		if err := r.Unmarshal(data); err == nil {
+			out, err := r.Marshal()
+			if err != nil {
+				t.Fatalf("accepted RR fails to marshal: %v", err)
+			}
+			var r2 ReceiverReport
+			if err := r2.Unmarshal(out); err != nil {
+				t.Fatalf("re-marshaled RR rejected: %v", err)
+			}
+			if r2.SSRC != r.SSRC || len(r2.Blocks) != len(r.Blocks) {
+				t.Fatal("RR roundtrip changed shape")
+			}
+		}
+	})
+}

@@ -42,6 +42,13 @@ type Config struct {
 	QueueGrowthLimit time.Duration
 	// MSS is the maximum segment size in bytes (1200 if zero).
 	MSS int
+	// FeedbackTimeout arms the feedback-starvation watchdog: after this
+	// long without CCFB the target freezes at MinRate and sending stops
+	// (the self-clock has no acks anyway); when feedback returns the
+	// controller restarts the window from the floor under exponential
+	// probe backoff, without counting the blackout as window losses. Zero
+	// disables the watchdog.
+	FeedbackTimeout time.Duration
 }
 
 func (c *Config) defaults() {
@@ -124,6 +131,9 @@ type Controller struct {
 	LossesInBand  int // losses detected inside a report (hole below highest)
 	LossesWindow  int // losses from packets falling below the ack window
 	QueueDiscards int // queue-discard events
+
+	// wd is the feedback-starvation watchdog; nil when disabled.
+	wd *cc.Watchdog
 }
 
 var _ cc.Controller = (*Controller)(nil)
@@ -146,6 +156,9 @@ func New(cfg Config) *Controller {
 	if c.cwnd < float64(2*cfg.MSS) {
 		c.cwnd = float64(2 * cfg.MSS)
 	}
+	if cfg.FeedbackTimeout > 0 {
+		c.wd = cc.NewWatchdog(cfg.FeedbackTimeout)
+	}
 	return c
 }
 
@@ -155,8 +168,14 @@ func (c *Controller) Name() string { return "scream" }
 // SetQueue implements cc.QueueAware.
 func (c *Controller) SetQueue(q *cc.SendQueue) { c.queue = q }
 
-// TargetBitrate implements cc.Controller.
-func (c *Controller) TargetBitrate(time.Duration) float64 { return c.target }
+// TargetBitrate implements cc.Controller. A starved feedback path (link
+// outage) freezes the target at the floor until feedback returns.
+func (c *Controller) TargetBitrate(now time.Duration) float64 {
+	if c.wd.Starved(now) {
+		return c.cfg.MinRate
+	}
+	return c.target
+}
 
 // PacingRate implements cc.Controller: the window per RTT, with headroom,
 // but never slower than the target (so a freshly grown queue can drain) and
@@ -187,8 +206,13 @@ func (c *Controller) boundedSRTT() time.Duration {
 
 // CanSend implements cc.Controller: self-clocking against the window. A
 // 25 % margin lets encoder bursts (I-frames) flow into the network's deep
-// buffer instead of ageing out of the RTP queue.
-func (c *Controller) CanSend(_ time.Duration, size int) bool {
+// buffer instead of ageing out of the RTP queue. A starved feedback path
+// stops sending outright: with no acks coming back, everything sent would
+// only pile into the dead link's buffer.
+func (c *Controller) CanSend(now time.Duration, size int) bool {
+	if c.wd.Starved(now) {
+		return false
+	}
 	return float64(c.bytesInFlight+size) <= 1.25*c.cwnd
 }
 
@@ -243,6 +267,23 @@ func (c *Controller) updateOWD(now time.Duration, sendTime, arrival time.Duratio
 // translated by the transport into acks covering the report's sequence
 // range (acks[0].Seq is the report's begin_seq).
 func (c *Controller) OnFeedback(now time.Duration, acks []cc.Ack) {
+	if c.wd.OnFeedback(now) {
+		// Feedback returned after an outage. The blackout consumed whatever
+		// was in flight — the stale backlog was flushed at re-establishment,
+		// not dropped by congestion — so restart the self-clock from the
+		// floor without counting it as window losses.
+		c.inflight = make(map[uint16]inflightPkt)
+		c.bytesInFlight = 0
+		c.cwnd = c.cfg.MinRate / 8 * c.boundedSRTT().Seconds()
+		if c.cwnd < float64(2*c.cfg.MSS) {
+			c.cwnd = float64(2 * c.cfg.MSS)
+		}
+		c.target = c.cfg.MinRate
+		c.qdelay = 0
+		c.baseWindow = c.baseWindow[:0]
+		c.lastLossAt = now
+		c.lastRateAdjust = now
+	}
 	if len(acks) == 0 {
 		return
 	}
@@ -317,6 +358,11 @@ func (c *Controller) OnFeedback(now time.Duration, acks []cc.Ack) {
 
 	lossReacted := c.updateCWND(now, bytesAcked, lossDetected)
 	c.adjustRate(now, lossReacted)
+	if c.wd.InBackoff(now) {
+		// Post-recovery probe hold: keep the target at the floor until the
+		// backoff window ends, then ramp normally.
+		c.target = c.cfg.MinRate
+	}
 	c.manageQueue(now)
 }
 

@@ -69,6 +69,8 @@ type Encoder struct {
 	rate     float64 // effective rate (lags the target)
 	lastTick time.Duration
 	num      uint32
+	gopPos   int  // position within the current GOP (0 = keyframe)
+	forceKey bool // a keyframe request restarts the GOP on the next frame
 }
 
 // NewEncoder returns an encoder starting at the given target rate.
@@ -96,6 +98,11 @@ func (e *Encoder) SetTarget(bitsPerSecond float64) {
 // Target returns the currently requested rate.
 func (e *Encoder) Target() float64 { return e.target }
 
+// ForceKeyframe makes the next encoded frame an I-frame and restarts the
+// GOP phase — the encoder's response to a PLI-style keyframe request after
+// the receiver lost decodable continuity.
+func (e *Encoder) ForceKeyframe() { e.forceKey = true }
+
 // Rate returns the effective (lagged) encoder rate.
 func (e *Encoder) Rate() float64 { return e.rate }
 
@@ -116,7 +123,15 @@ func (e *Encoder) NextFrame(now time.Duration) Frame {
 		e.rate += (e.target - e.rate) * a
 	}
 
-	key := e.num%uint32(e.cfg.GOP) == 0
+	if e.forceKey {
+		e.forceKey = false
+		e.gopPos = 0
+	}
+	key := e.gopPos == 0
+	e.gopPos++
+	if e.gopPos >= e.cfg.GOP {
+		e.gopPos = 0
+	}
 	// Per-frame byte budget: the GOP average equals rate/FPS/8 bytes, with
 	// I-frames IFrameRatio× the size of P-frames.
 	gop := float64(e.cfg.GOP)

@@ -47,7 +47,21 @@ type PlayerConfig struct {
 	// (SCReAM, high bitrate) and is off by default.
 	LatchQuirk bool
 	LatchRate  float64
+	// KeyframeRecovery arms the §5 error-concealment recovery model:
+	// skipped frames leave the decoder predicting from a stale reference,
+	// so decoded frames score a reduced SSIM until the next keyframe
+	// plays, and the player issues a rate-limited KeyframeRequest (PLI
+	// semantics) so the sender can cut the propagation short. Off by
+	// default to leave the calibrated campaign results untouched.
+	KeyframeRecovery bool
+	// KeyframeRequestInterval rate-limits KeyframeRequest (500 ms if
+	// zero).
+	KeyframeRequestInterval time.Duration
 }
+
+// errorPropagationSSIM scales decoded-frame SSIM while the decoder's
+// reference is stale (after a skip, before the next keyframe).
+const errorPropagationSSIM = 0.6
 
 // DefaultPlayerConfig returns the campaign player parameters.
 func DefaultPlayerConfig() PlayerConfig {
@@ -93,6 +107,16 @@ type Player struct {
 	encoding func(num uint32) (rate, complexity float64, ok bool)
 
 	depkt *rtp.Depacketizer
+
+	// KeyframeRequest, when set with cfg.KeyframeRecovery, is invoked
+	// (rate-limited) whenever a frame is skipped while decodable
+	// continuity is broken — the receiver's PLI.
+	KeyframeRequest func()
+	// KeyframeRequests counts issued requests.
+	KeyframeRequests int
+	needKeyframe     bool
+	lastKFRequest    time.Duration
+	haveKFRequest    bool
 
 	started      bool
 	nextPlay     uint32 // next frame number to play
@@ -270,6 +294,17 @@ func (p *Player) play(now time.Duration, fs *rtp.FrameState) {
 		rate, complexity = 2e6, 1
 	}
 	score := p.ssim.Score(rate, complexity, fs.LossFraction(), fs.Keyframe)
+	if p.cfg.KeyframeRecovery && p.needKeyframe {
+		if fs.Keyframe {
+			p.needKeyframe = false
+		} else {
+			// Decoder predicting from a stale reference: the error from the
+			// skipped frame propagates through every inter frame until an
+			// intra refresh arrives.
+			score *= errorPropagationSSIM
+			p.maybeRequestKeyframe(now)
+		}
+	}
 	pf := PlayedFrame{
 		Num:      fs.Num,
 		PlayedAt: now,
@@ -289,11 +324,34 @@ func (p *Player) skip(now time.Duration, _ string) {
 		SSIM:     p.ssim.Skip(),
 		Skipped:  true,
 	}, now)
+	if p.cfg.KeyframeRecovery {
+		p.needKeyframe = true
+		p.maybeRequestKeyframe(now)
+	}
 	p.depkt.Delete(p.nextPlay)
 	// Skipping does not consume a playback slot: the next frame may play
 	// immediately (the §3.2 observation that playback latency can drop
 	// without an FPS increase when frames are skipped).
 	p.nextPlay++
+}
+
+// maybeRequestKeyframe fires the KeyframeRequest hook, rate-limited so a
+// burst of skips (one outage) yields one request per interval.
+func (p *Player) maybeRequestKeyframe(now time.Duration) {
+	if p.KeyframeRequest == nil {
+		return
+	}
+	iv := p.cfg.KeyframeRequestInterval
+	if iv == 0 {
+		iv = 500 * time.Millisecond
+	}
+	if p.haveKFRequest && now-p.lastKFRequest < iv {
+		return
+	}
+	p.haveKFRequest = true
+	p.lastKFRequest = now
+	p.KeyframeRequests++
+	p.KeyframeRequest()
 }
 
 // record appends the frame sample and the stall/FPS bookkeeping.

@@ -96,6 +96,10 @@ func NewSender(s *sim.Simulator, cfg SenderConfig, ctrl cc.Controller, rng *rand
 // Encoder exposes the encoder (for traces).
 func (s *Sender) Encoder() *Encoder { return s.enc }
 
+// ForceKeyframe asks the encoder to restart the GOP with an I-frame on the
+// next tick — the sender's handling of a receiver keyframe request.
+func (s *Sender) ForceKeyframe() { s.enc.ForceKeyframe() }
+
 // QueueDelay returns the current send-queue head age.
 func (s *Sender) QueueDelay() time.Duration { return s.queue.Delay(s.sim.Now()) }
 

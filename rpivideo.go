@@ -28,6 +28,7 @@ package rpivideo
 import (
 	"rpivideo/internal/cell"
 	"rpivideo/internal/core"
+	"rpivideo/internal/fault"
 )
 
 // Environment selects the measurement area of the campaign (§3.1).
@@ -94,6 +95,23 @@ type CampaignOptions = core.CampaignOptions
 
 // CampaignProgress is one per-completed-run campaign status sample.
 type CampaignProgress = core.CampaignProgress
+
+// FaultConfig arms deterministic fault injection on a run via
+// Config.Faults: scripted coverage outages, the T310/T311 radio-link-
+// failure model and the graceful-degradation responses. The zero value
+// disables everything. See internal/fault for field docs and DESIGN.md §5
+// for the model.
+type FaultConfig = fault.Config
+
+// FaultWindow is one scripted outage window (start, duration, direction).
+type FaultWindow = fault.Window
+
+// FaultEpisode is one realized outage in Result.FaultEpisodes.
+type FaultEpisode = fault.Episode
+
+// ParseFaultSchedule parses a comma-separated outage schedule like
+// "45s+2s,90s+500ms/down" into scripted fault windows.
+func ParseFaultSchedule(spec string) ([]FaultWindow, error) { return fault.ParseSchedule(spec) }
 
 // Run executes one measurement run.
 func Run(cfg Config) *Result { return core.Run(cfg) }
