@@ -171,3 +171,34 @@ func BenchmarkCampaign20RunsSerial(b *testing.B) { benchCampaign(b, 1) }
 // BenchmarkCampaign20RunsParallel runs the same campaign with one worker
 // per logical CPU.
 func BenchmarkCampaign20RunsParallel(b *testing.B) { benchCampaign(b, 0) }
+
+// benchRunTrace measures a single short video run with tracing off or on.
+// Compare the two to see the observability overhead: the disabled path is
+// one nil check per instrumentation point, the enabled path appends a flat
+// event value into a preallocated ring (TraceCap), so neither allocates on
+// the packet path (locked in by link's zero-alloc test).
+func benchRunTrace(b *testing.B, trace bool) {
+	b.ReportAllocs()
+	cfg := rpivideo.Config{
+		Env:      rpivideo.Urban,
+		CC:       rpivideo.GCC,
+		Seed:     1,
+		Duration: 10 * time.Second,
+		Trace:    trace,
+		TraceCap: 4096,
+	}
+	for i := 0; i < b.N; i++ {
+		res := rpivideo.Run(cfg)
+		if trace && res.Trace.Len() == 0 {
+			b.Fatal("traced run produced no events")
+		}
+	}
+}
+
+// BenchmarkRunTraceDisabled is the baseline: the same run with the tracer
+// compiled in but switched off.
+func BenchmarkRunTraceDisabled(b *testing.B) { benchRunTrace(b, false) }
+
+// BenchmarkRunTraceEnabled runs with the ring tracer capturing every
+// subsystem's events.
+func BenchmarkRunTraceEnabled(b *testing.B) { benchRunTrace(b, true) }

@@ -8,7 +8,15 @@
 //	rpbench -fig fig6        # one experiment
 //	rpbench -runs 5 -seed 7  # more repetitions, different base seed
 //	rpbench -workers 1       # serial campaigns (default: one per CPU)
-//	rpbench -list            # list experiment IDs
+//	rpbench -list            # list experiment and scenario IDs
+//
+// Observability:
+//
+//	rpbench -scenario urban-gcc -trace out.jsonl   # traced scenario run
+//	rpbench -scenario urban-gcc -metrics out.json  # campaign metrics
+//	rpbench -pprof 127.0.0.1:6060 ...              # pprof + runtime metrics
+//
+// Trace and metrics exports are byte-identical at any -workers setting.
 package main
 
 import (
@@ -17,7 +25,9 @@ import (
 	"os"
 	"runtime"
 
+	"rpivideo/internal/core"
 	"rpivideo/internal/experiments"
+	"rpivideo/internal/obs"
 )
 
 var registry = []struct {
@@ -56,14 +66,43 @@ func main() {
 		"concurrent campaign runs (results are identical at any setting)")
 	faults := flag.String("faults", "",
 		"scripted outage schedule for the robust experiment, e.g. \"45s+2s,70s+500ms/up\"")
-	list := flag.Bool("list", false, "list experiment IDs and exit")
+	list := flag.Bool("list", false, "list experiment and scenario IDs and exit")
+	scenario := flag.String("scenario", "", "run a named observability scenario instead of experiments")
+	tracePath := flag.String("trace", "", "write the scenario's event trace as JSONL to this file (requires -scenario)")
+	metricsPath := flag.String("metrics", "", "write the scenario's campaign metrics as JSON to this file (requires -scenario)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/runtime-metrics on this address while running")
 	flag.Parse()
 
 	if *list {
 		for _, e := range registry {
 			fmt.Printf("%-10s %s\n", e.id, e.desc)
 		}
+		for _, sc := range experiments.Scenarios() {
+			fmt.Printf("%-16s [scenario] %s\n", sc.Name, sc.Desc)
+		}
 		return
+	}
+
+	if *pprofAddr != "" {
+		srv, addr, err := obs.Serve(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rpbench: pprof on http://%s/debug/pprof/\n", addr)
+	}
+
+	if *scenario != "" {
+		if err := runScenario(*scenario, *seed, *workers, *tracePath, *metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "rpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tracePath != "" || *metricsPath != "" {
+		fmt.Fprintln(os.Stderr, "rpbench: -trace/-metrics require -scenario (use -list for scenario IDs)")
+		os.Exit(2)
 	}
 
 	o := experiments.Options{Runs: *runs, Seed: *seed, Workers: *workers, FaultSpec: *faults}
@@ -92,4 +131,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rpbench: %d experiment(s) failed shape checks\n", failed)
 		os.Exit(1)
 	}
+}
+
+// runScenario executes one observability scenario and writes the requested
+// exports. seed == the default base seed (1) keeps the scenario's pinned
+// seed, so golden traces regenerate exactly.
+func runScenario(name string, seed int64, workers int, tracePath, metricsPath string) error {
+	sc, err := experiments.ScenarioByName(name)
+	if err != nil {
+		return err
+	}
+	if seed == 1 {
+		seed = 0 // default flag value: keep the scenario's pinned seed
+	}
+	results, err := experiments.RunScenario(sc, seed, workers)
+	if err != nil {
+		return err
+	}
+	if tracePath != "" {
+		if err := writeFileWith(tracePath, func(f *os.File) error {
+			return core.WriteCampaignTrace(f, results)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rpbench: wrote trace %s\n", tracePath)
+	}
+	if metricsPath != "" {
+		if err := writeFileWith(metricsPath, func(f *os.File) error {
+			return core.WriteCampaignMetrics(f, results)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rpbench: wrote metrics %s\n", metricsPath)
+	}
+	merged := core.Merge(results)
+	fmt.Printf("scenario %s: %d runs, %d packets sent, %d delivered, %d frames played, %d skipped\n",
+		sc.Name, len(results), merged.PacketsSent, merged.PacketsDelivered, merged.FramesPlayed, merged.FramesSkipped)
+	return nil
+}
+
+// writeFileWith creates path and runs write against it, closing on the way
+// out and reporting the first error.
+func writeFileWith(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

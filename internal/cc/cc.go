@@ -4,7 +4,11 @@
 // queue and per-packet bookkeeping.
 package cc
 
-import "time"
+import (
+	"time"
+
+	"rpivideo/internal/obs"
+)
 
 // SentPacket describes one media packet entering the network.
 type SentPacket struct {
@@ -54,6 +58,15 @@ type Controller interface {
 	CanSend(now time.Duration, size int) bool
 	// Name identifies the controller in traces and experiment output.
 	Name() string
+}
+
+// Traceable is implemented by controllers that can emit obs.KindCC events
+// describing each rate decision. The run harness type-asserts against it so
+// the Controller interface stays unchanged for controllers that do not
+// trace (e.g. Static, whose target never moves).
+type Traceable interface {
+	// SetTracer attaches an event tracer; nil disables tracing.
+	SetTracer(*obs.Tracer)
 }
 
 // Static is the paper's baseline: a constant bitrate chosen per environment

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rpivideo/internal/flight"
+	"rpivideo/internal/obs"
 )
 
 // HandoverConfig parameterizes the A3-event handover machine.
@@ -85,6 +86,10 @@ type Machine struct {
 
 	events []Event
 	rsrps  []float64
+
+	// Tracing (nil = disabled). Purely observational — see internal/obs.
+	trace    *obs.Tracer
+	traceDir obs.Dir
 }
 
 // NewMachine returns a handover machine attached to a signal model. air
@@ -92,6 +97,13 @@ type Machine struct {
 // up to 4 s occur almost exclusively in the air).
 func NewMachine(model *SignalModel, cfg HandoverConfig, air bool, rng *rand.Rand) *Machine {
 	return &Machine{cfg: cfg, model: model, rng: rng, midair: air, serving: -1, prevServing: -1}
+}
+
+// SetTracer attaches an event tracer (nil disables tracing). dir labels the
+// link direction this machine serves.
+func (m *Machine) SetTracer(tr *obs.Tracer, dir obs.Dir) {
+	m.trace = tr
+	m.traceDir = dir
 }
 
 // Serving returns the current serving cell ID (-1 before the first
@@ -236,6 +248,10 @@ func (m *Machine) Step(now time.Duration, st flight.State) *Event {
 	m.busyUntil = now + het
 	m.haveCandidate = false
 	m.events = append(m.events, ev)
+	if m.trace != nil {
+		m.trace.Emit(obs.Event{T: now, Kind: obs.KindHandover, Dir: m.traceDir,
+			Seq: int64(ev.From), Aux: int64(ev.To), V: float64(het) / float64(time.Millisecond)})
+	}
 	return &m.events[len(m.events)-1]
 }
 

@@ -1,6 +1,10 @@
 package cell
 
-import "time"
+import (
+	"time"
+
+	"rpivideo/internal/obs"
+)
 
 // RLFConfig parameterizes the radio-link-failure model (3GPP TS 36.331
 // §5.3.11): when the serving-cell quality stays below Qout for T310 the UE
@@ -133,4 +137,8 @@ func (m *Machine) declareRLF(now time.Duration, cause RLFCause) {
 	// a handover: reuse the post-HO degradation window.
 	m.haveLastHO = true
 	m.rlfs = append(m.rlfs, RLFEvent{At: now, Cause: cause, Outage: out, From: m.serving, To: -1})
+	if m.trace != nil {
+		m.trace.Emit(obs.Event{T: now, Kind: obs.KindRLF, Dir: m.traceDir,
+			Seq: int64(m.serving), Aux: int64(cause), V: float64(out) / float64(time.Millisecond)})
+	}
 }

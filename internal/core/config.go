@@ -89,6 +89,18 @@ type Config struct {
 	// for Fig. 8/9-style window analyses; memory-heavy for campaigns).
 	KeepSeries bool
 
+	// Trace enables per-run event tracing (internal/obs): every packet
+	// send/receive/drop, outage window, handover, RLF, congestion-control
+	// decision and frame-play lands in Result.Trace. Tracing is strictly
+	// observational — it draws no randomness and schedules no events — so a
+	// traced run's Result is identical to the untraced one. Off by default;
+	// the disabled path costs one nil check per event site.
+	Trace bool
+	// TraceCap bounds the trace ring buffer in events; the ring keeps the
+	// newest events and counts the overwritten ones. Zero or negative keeps
+	// every event (unbounded).
+	TraceCap int
+
 	// The §5 "what could fix this" extensions, off by default:
 
 	// DAPS switches handovers to the Dual Active Protocol Stack

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"io"
+
+	"rpivideo/internal/obs"
+)
+
+// WriteCampaignTrace renders every traced run of a campaign as JSONL, in
+// run-index order: one meta line per run followed by its events. Untraced
+// or failed (nil) runs are skipped. Because runs are pure functions of
+// (Config, Seed) and the export order is the run index, the output is
+// byte-identical at any campaign worker count.
+func WriteCampaignTrace(w io.Writer, results []*Result) error {
+	for i, r := range results {
+		if r == nil || r.Trace == nil {
+			continue
+		}
+		meta := obs.RunMeta{
+			Label:    r.Config.Label(),
+			Run:      i,
+			Seed:     r.Config.Seed,
+			Duration: r.Duration,
+			Events:   r.Trace.Emitted(),
+			Dropped:  r.Trace.Dropped(),
+		}
+		if err := obs.WriteJSONL(w, meta, r.Trace.Events()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCampaignMetrics merges the per-run registries in run-index order and
+// renders the campaign registry as indented JSON.
+func WriteCampaignMetrics(w io.Writer, results []*Result) error {
+	return CampaignMetrics(results).WriteJSON(w)
+}

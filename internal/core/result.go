@@ -1,11 +1,13 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"rpivideo/internal/cell"
 	"rpivideo/internal/fault"
 	"rpivideo/internal/metrics"
+	"rpivideo/internal/obs"
 	"rpivideo/internal/video"
 )
 
@@ -107,6 +109,11 @@ type Result struct {
 	// (zero if never).
 	RampUpTo25 time.Duration
 
+	// Trace holds the run's event trace when Config.Trace is set; nil
+	// otherwise. Runs are single-goroutine, so the trace is complete and
+	// time-ordered when Run returns.
+	Trace *obs.Tracer
+
 	// Fault-injection metrics (video workloads with Config.Faults armed).
 	Outages           int             // realized outage episodes
 	OutageTotal       time.Duration   // summed episode length
@@ -122,6 +129,75 @@ type Result struct {
 
 // GoodputMean returns the mean per-second goodput in Mbps.
 func (r *Result) GoodputMean() float64 { return r.Goodput.Mean() }
+
+// observeSorted folds a distribution's samples into a registry histogram in
+// ascending order. Sorting first makes the histogram's float Sum a pure
+// function of the sample multiset, so per-run registries are byte-identical
+// however the run was scheduled.
+func observeSorted(h *obs.Histogram, d *metrics.Dist) {
+	samples := d.Samples()
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	for _, v := range sorted {
+		h.Observe(v)
+	}
+}
+
+// MetricsRegistry renders the run's aggregates as an obs.Registry: counters
+// for packet/frame/fault tallies, gauges for worst-case watermarks, and
+// fixed-layout histograms for every distribution. Registries from the runs
+// of one campaign merge with (*obs.Registry).Merge in run-index order.
+func (r *Result) MetricsRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Add("packets_sent", int64(r.PacketsSent))
+	reg.Add("packets_delivered", int64(r.PacketsDelivered))
+	reg.Add("packets_lost", int64(r.PacketsLost))
+	reg.Add("packets_overflow", int64(r.Overflows))
+	reg.Add("aqm_drops", int64(r.AQMDrops))
+	reg.Add("stale_drops", int64(r.StaleDrops))
+	reg.Add("ctrl_packets_sent", int64(r.CtrlPacketsSent))
+	reg.Add("ctrl_packets_delivered", int64(r.CtrlPacketsDelivered))
+	reg.Add("ctrl_packets_lost", int64(r.CtrlPacketsLost))
+	reg.Add("handovers", int64(len(r.Handovers)))
+	reg.Add("rlfs", int64(r.RLFs))
+	reg.Add("handover_failures", int64(r.HandoverFailures))
+	reg.Add("outages", int64(r.Outages))
+	reg.Add("frames_played", int64(r.FramesPlayed))
+	reg.Add("frames_skipped", int64(r.FramesSkipped))
+	reg.Add("stalls", int64(len(r.Stalls)))
+	reg.Add("keyframe_requests", int64(r.KeyframeRequests))
+	reg.Add("multipath_duplicates", int64(r.MultipathDuplicates))
+
+	reg.SetGauge("post_outage_queue_ms_max", r.PostOutageQueueMs)
+	reg.SetGauge("ramp_up_ms_max", float64(r.RampUpTo25)/float64(time.Millisecond))
+
+	observeSorted(reg.Histogram("owd_ms", obs.LatencyMsBuckets), &r.OWDms)
+	observeSorted(reg.Histogram("playback_ms", obs.LatencyMsBuckets), &r.PlaybackMs)
+	observeSorted(reg.Histogram("jitter_ms", obs.LatencyMsBuckets), &r.JitterMs)
+	observeSorted(reg.Histogram("rtcp_rtt_ms", obs.LatencyMsBuckets), &r.RTCPRTTms)
+	observeSorted(reg.Histogram("rtt_ms", obs.LatencyMsBuckets), &r.RTTms)
+	observeSorted(reg.Histogram("outage_ms", obs.LatencyMsBuckets), &r.OutageMs)
+	observeSorted(reg.Histogram("recovery_ms", obs.LatencyMsBuckets), &r.RecoveryMs)
+	observeSorted(reg.Histogram("goodput_mbps", obs.RateMbpsBuckets), &r.Goodput)
+	observeSorted(reg.Histogram("ssim", obs.SSIMBuckets), &r.SSIM)
+	observeSorted(reg.Histogram("fps", obs.FPSBuckets), &r.FPS)
+	return reg
+}
+
+// CampaignMetrics merges the per-run registries of a campaign in run-index
+// order — the fixed fold order that makes the export byte-identical at any
+// worker count.
+func CampaignMetrics(results []*Result) *obs.Registry {
+	out := obs.NewRegistry()
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		out.Merge(r.MetricsRegistry())
+	}
+	return out
+}
 
 // HandoverRate returns handovers per second.
 func (r *Result) HandoverRate() float64 {

@@ -11,6 +11,7 @@ import (
 	"rpivideo/internal/gcc"
 	"rpivideo/internal/link"
 	"rpivideo/internal/metrics"
+	"rpivideo/internal/obs"
 	"rpivideo/internal/rtp"
 	"rpivideo/internal/scream"
 	"rpivideo/internal/sim"
@@ -52,6 +53,10 @@ func Run(cfg Config) *Result {
 	machine := cell.NewMachine(model, hoCfg, cfg.Air, cellRng)
 
 	res := &Result{Config: cfg, Duration: dur}
+	if cfg.Trace {
+		res.Trace = obs.New(cfg.TraceCap)
+		machine.SetTracer(res.Trace, obs.DirUp)
+	}
 	s.Every(0, hoCfg.MeasurementInterval, func() {
 		if ev := machine.Step(s.Now(), stateAt(s.Now())); ev != nil {
 			res.Handovers = append(res.Handovers, *ev)
@@ -62,6 +67,10 @@ func Run(cfg Config) *Result {
 	upProfile.AQM = cfg.AQM
 	uplink := link.New(s, upProfile, machine, stateAt, s.Stream("uplink"))
 	downlink := link.New(s, link.FeedbackProfile(), machine, stateAt, s.Stream("downlink"))
+	if res.Trace != nil {
+		uplink.SetTracer(res.Trace, obs.DirUp)
+		downlink.SetTracer(res.Trace, obs.DirDown)
+	}
 	flushStale := !cfg.Faults.FreezeQueue
 	if cfg.Faults.Enabled() {
 		uplink.SetFaults(fault.NewLine(cfg.Faults.Windows, fault.Uplink), flushStale, cfg.Faults.StaleAfter)
@@ -89,6 +98,10 @@ func Run(cfg Config) *Result {
 		prof2 := link.ProfileFor(cfg.Env, op2)
 		prof2.AQM = cfg.AQM
 		uplink2 = link.New(s, prof2, machine2, stateAt, s.Stream("uplink2"))
+		if res.Trace != nil {
+			machine2.SetTracer(res.Trace, obs.DirUp2)
+			uplink2.SetTracer(res.Trace, obs.DirUp2)
+		}
 		if cfg.Faults.Enabled() {
 			// A scripted coverage hole is where the vehicle is: it silences
 			// both radios of a multipath run.
@@ -139,6 +152,11 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 	default:
 		ctrl = cc.NewStatic(cfg.staticRate())
 	}
+	if res.Trace != nil {
+		if tc, ok := ctrl.(cc.Traceable); ok {
+			tc.SetTracer(res.Trace)
+		}
+	}
 
 	scfg := video.DefaultSenderConfig()
 	snd := video.NewSender(s, scfg, ctrl, s.Stream("encoder"))
@@ -162,6 +180,9 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 		pcfg.KeyframeRecovery = true
 	}
 	pl := video.NewPlayer(s, pcfg, video.DefaultSSIMModel(), snd.FrameEncoding)
+	if res.Trace != nil {
+		pl.SetTracer(res.Trace)
+	}
 	if pcfg.KeyframeRecovery {
 		// The receiver's PLI rides the feedback path: it reaches the sender
 		// only if the downlink is alive, as a real keyframe request would.

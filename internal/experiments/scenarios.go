@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rpivideo/internal/cell"
+	"rpivideo/internal/core"
+	"rpivideo/internal/fault"
+)
+
+// Scenario is one small named configuration for observability runs: the
+// rpbench -scenario mode traces it, exports its metrics, and the golden
+// regression suite pins its trace bytes. Scenarios are deliberately short —
+// seconds, not the six-minute campaign flights — so golden files stay small
+// and the regression tests run under the race detector.
+type Scenario struct {
+	// Name is the -scenario / golden-file identifier.
+	Name string
+	// Desc is the one-line -list description.
+	Desc string
+	// Config is the run configuration (Seed is the campaign base seed;
+	// per-run seeds derive from it).
+	Config core.Config
+	// Runs is the campaign size.
+	Runs int
+}
+
+// Scenarios returns the named observability scenarios.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name: "urban-gcc",
+			Desc: "urban ground GCC, 3 s — the clean-path trace",
+			Config: core.Config{
+				Env:      cell.Urban,
+				Op:       cell.P1,
+				CC:       core.CCGCC,
+				Seed:     1,
+				Duration: 3 * time.Second,
+			},
+			Runs: 1,
+		},
+		{
+			Name: "robust-blackout",
+			Desc: "urban ground GCC with a 2 s blackout at 3 s, 8 s — the fault-path trace",
+			Config: core.Config{
+				Env:      cell.Urban,
+				Op:       cell.P1,
+				CC:       core.CCGCC,
+				Seed:     1,
+				Duration: 8 * time.Second,
+				Faults: fault.Config{
+					Windows:          []fault.Window{{Start: 3 * time.Second, Duration: 2 * time.Second, Dir: fault.Both}},
+					Watchdog:         true,
+					KeyframeRecovery: true,
+				},
+			},
+			Runs: 1,
+		},
+	}
+}
+
+// ScenarioByName resolves a scenario by its identifier.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("unknown scenario %q", name)
+}
+
+// RunScenario executes the scenario's campaign with tracing enabled and
+// returns the per-run results in run-index order. seed overrides the
+// scenario's base seed when non-zero; workers is the campaign worker count
+// (0 = one per CPU). Results are identical at any worker count.
+func RunScenario(sc Scenario, seed int64, workers int) ([]*core.Result, error) {
+	cfg := sc.Config
+	cfg.Trace = true
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	results, errs := core.RunCampaignWithOptions(cfg, sc.Runs, core.CampaignOptions{Workers: workers})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s run %d: %w", sc.Name, i, err)
+		}
+	}
+	return results, nil
+}

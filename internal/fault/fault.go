@@ -95,6 +95,12 @@ func ParseSchedule(spec string) ([]Window, error) {
 		}
 		out = append(out, w)
 	}
+	if out == nil && strings.TrimSpace(spec) != "" {
+		// A non-empty spec made only of separators ("," or " , ") is a
+		// typo, not an empty schedule — arming faults with it would
+		// silently run fault-free.
+		return nil, fmt.Errorf("fault: schedule %q contains no windows", spec)
+	}
 	return out, nil
 }
 

@@ -44,6 +44,77 @@ func TestParseScheduleErrors(t *testing.T) {
 	}
 }
 
+// TestParseScheduleEdgeCases pins the parser's behaviour on the inputs a
+// user is most likely to mistype on the -faults flag.
+func TestParseScheduleEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		want    []Window
+		wantErr bool
+	}{
+		{name: "empty string", spec: "", want: nil},
+		{name: "whitespace only", spec: "   ", want: nil},
+		{
+			name: "trailing comma",
+			spec: "45s+2s,",
+			want: []Window{{Start: 45 * time.Second, Duration: 2 * time.Second, Dir: Both}},
+		},
+		{
+			name: "interior empty field",
+			spec: "45s+2s,,90s+1s/up",
+			want: []Window{
+				{Start: 45 * time.Second, Duration: 2 * time.Second, Dir: Both},
+				{Start: 90 * time.Second, Duration: time.Second, Dir: Uplink},
+			},
+		},
+		{name: "separators only", spec: ",", wantErr: true},
+		{name: "separators and spaces only", spec: " , , ", wantErr: true},
+		{name: "zero duration", spec: "5s+0s", wantErr: true},
+		{name: "negative duration", spec: "5s+-2s", wantErr: true},
+		{name: "bad direction suffix", spec: "5s+1s/sideways", wantErr: true},
+		{name: "empty direction suffix", spec: "5s+1s/", wantErr: true},
+		{name: "missing plus", spec: "5s2s", wantErr: true},
+		{
+			// Overlapping windows parse fine; NewLine merges them at
+			// activation time (TestLineMergesOverlaps).
+			name: "overlapping windows",
+			spec: "10s+5s,12s+5s",
+			want: []Window{
+				{Start: 10 * time.Second, Duration: 5 * time.Second, Dir: Both},
+				{Start: 12 * time.Second, Duration: 5 * time.Second, Dir: Both},
+			},
+		},
+		{
+			name: "zero start is valid",
+			spec: "0s+1s/down",
+			want: []Window{{Start: 0, Duration: time.Second, Dir: Downlink}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseSchedule(tc.spec)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParseSchedule(%q) = %+v, want error", tc.spec, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseSchedule(%q): %v", tc.spec, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("ParseSchedule(%q) = %+v, want %+v", tc.spec, got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Errorf("window %d: got %+v, want %+v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
 func TestLineDirectionFiltering(t *testing.T) {
 	ws := []Window{
 		{Start: 10 * time.Second, Duration: time.Second, Dir: Both},

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"rpivideo/internal/cc"
+	"rpivideo/internal/obs"
 )
 
 // Config parameterizes the controller.
@@ -98,9 +99,19 @@ type Controller struct {
 
 	// wd is the feedback-starvation watchdog; nil when disabled.
 	wd *cc.Watchdog
+
+	// trace emits one obs.KindCC event per feedback-driven rate decision
+	// (nil = disabled; purely observational).
+	trace *obs.Tracer
 }
 
-var _ cc.Controller = (*Controller)(nil)
+var (
+	_ cc.Controller = (*Controller)(nil)
+	_ cc.Traceable  = (*Controller)(nil)
+)
+
+// SetTracer implements cc.Traceable.
+func (c *Controller) SetTracer(tr *obs.Tracer) { c.trace = tr }
 
 // New returns a GCC controller.
 func New(cfg Config) *Controller {
@@ -260,6 +271,10 @@ func (c *Controller) OnFeedback(now time.Duration, acks []cc.Ack) {
 		c.aimd.resetTo(c.cfg.MinRate, now)
 		c.loss.rate = c.cfg.MinRate
 		c.target = c.cfg.MinRate
+	}
+	if c.trace != nil {
+		c.trace.Emit(obs.Event{T: now, Kind: obs.KindCC,
+			Seq: int64(c.lastSignal), Aux: int64(len(acks)), V: c.target})
 	}
 }
 

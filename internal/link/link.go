@@ -14,6 +14,7 @@ import (
 	"rpivideo/internal/cell"
 	"rpivideo/internal/fault"
 	"rpivideo/internal/flight"
+	"rpivideo/internal/obs"
 	"rpivideo/internal/sim"
 )
 
@@ -132,6 +133,17 @@ type Link struct {
 	// queueBytes so control packets do not occupy media buffer space in
 	// the overflow admission check.
 	ctrlQueueBytes int
+
+	// Tracing (nil trace = disabled; the emit sites are nil-guarded so the
+	// packet path costs one predictable branch and zero allocations when
+	// tracing is off). Tracing is strictly observational: it never draws
+	// randomness or schedules events, so traced and untraced runs produce
+	// identical results.
+	trace       *obs.Tracer
+	traceDir    obs.Dir
+	nextID      int64
+	inOutage    bool
+	outageStart time.Duration
 }
 
 type queued struct {
@@ -139,6 +151,7 @@ type queued struct {
 	size   int
 	sentAt time.Duration
 	ctrl   bool
+	id     int64
 }
 
 // New returns a link on the given simulator. machine and state may be nil.
@@ -158,6 +171,13 @@ func (l *Link) SetFaults(line *fault.Line, flush bool, staleAfter time.Duration)
 		staleAfter = 600 * time.Millisecond
 	}
 	l.staleAfter = staleAfter
+}
+
+// SetTracer attaches an event tracer to this link direction. A nil tracer
+// disables tracing. dir labels every event this link emits (up, down, up2).
+func (l *Link) SetTracer(tr *obs.Tracer, dir obs.Dir) {
+	l.trace = tr
+	l.traceDir = dir
 }
 
 // Capacity returns the current effective capacity in bits/s (before
@@ -250,12 +270,22 @@ func (l *Link) SendControl(meta any, size int) { l.send(meta, size, true) }
 
 func (l *Link) send(meta any, size int, ctrl bool) {
 	now := l.sim.Now()
+	id := l.nextID
+	l.nextID++
+	var flags uint8
 	if ctrl {
+		flags = obs.FlagCtrl
 		l.CtrlSent++
 	} else {
 		l.Sent++
 	}
+	if l.trace != nil {
+		l.trace.Emit(obs.Event{T: now, Kind: obs.KindSend, Dir: l.traceDir, Flags: flags, Seq: id, Aux: int64(size)})
+	}
 	if l.lose(now) {
+		if l.trace != nil {
+			l.trace.Emit(obs.Event{T: now, Kind: obs.KindDrop, Dir: l.traceDir, Flags: flags, Seq: id, Aux: int64(DropLoss)})
+		}
 		if ctrl {
 			l.CtrlLost++
 			return
@@ -268,12 +298,15 @@ func (l *Link) send(meta any, size int, ctrl bool) {
 	}
 	if !ctrl && l.queueBytes+size > l.prof.BufferBytes {
 		l.Overflows++
+		if l.trace != nil {
+			l.trace.Emit(obs.Event{T: now, Kind: obs.KindDrop, Dir: l.traceDir, Seq: id, Aux: int64(DropOverflow)})
+		}
 		if l.OnDrop != nil {
 			l.OnDrop(meta, size, now, DropOverflow)
 		}
 		return
 	}
-	l.queue = append(l.queue, queued{meta: meta, size: size, sentAt: now, ctrl: ctrl})
+	l.queue = append(l.queue, queued{meta: meta, size: size, sentAt: now, ctrl: ctrl, id: id})
 	if ctrl {
 		l.ctrlQueueBytes += size
 	} else {
@@ -375,9 +408,23 @@ func (l *Link) serveNext() {
 	now := l.sim.Now()
 
 	if resume, down := l.interruption(now); down {
+		if !l.inOutage {
+			l.inOutage = true
+			l.outageStart = now
+			if l.trace != nil {
+				l.trace.Emit(obs.Event{T: now, Kind: obs.KindOutageStart, Dir: l.traceDir})
+			}
+		}
 		l.pendingFlush = l.flushStale
 		l.sim.At(resume, l.serveNext)
 		return
+	}
+	if l.inOutage {
+		l.inOutage = false
+		if l.trace != nil {
+			l.trace.Emit(obs.Event{T: now, Kind: obs.KindOutageEnd, Dir: l.traceDir,
+				V: float64(now-l.outageStart) / float64(time.Millisecond)})
+		}
 	}
 	if l.pendingFlush {
 		// Service resumed after an interruption: discard the stale backlog
@@ -472,6 +519,13 @@ func (l *Link) codel(now time.Duration) {
 			return
 		}
 		head := l.dequeueHead()
+		if l.trace != nil {
+			var flags uint8
+			if head.ctrl {
+				flags = obs.FlagCtrl
+			}
+			l.trace.Emit(obs.Event{T: now, Kind: obs.KindDrop, Dir: l.traceDir, Flags: flags, Seq: head.id, Aux: int64(DropAQM)})
+		}
 		if head.ctrl {
 			l.CtrlLost++
 		} else {
@@ -515,6 +569,13 @@ func (l *Link) dropStaleQueue(now time.Duration) {
 	keep := l.queue[:0]
 	for _, pkt := range l.queue {
 		if now-pkt.sentAt > l.staleAfter {
+			if l.trace != nil {
+				var flags uint8
+				if pkt.ctrl {
+					flags = obs.FlagCtrl
+				}
+				l.trace.Emit(obs.Event{T: now, Kind: obs.KindDrop, Dir: l.traceDir, Flags: flags, Seq: pkt.id, Aux: int64(DropStale)})
+			}
 			if pkt.ctrl {
 				l.ctrlQueueBytes -= pkt.size
 				l.CtrlLost++
@@ -562,6 +623,15 @@ func (l *Link) deliver(pkt queued) {
 			l.inFlight--
 			l.Delivered++
 		}
-		l.Deliver(pkt.meta, pkt.size, pkt.sentAt, l.sim.Now())
+		now := l.sim.Now()
+		if l.trace != nil {
+			var flags uint8
+			if pkt.ctrl {
+				flags = obs.FlagCtrl
+			}
+			l.trace.Emit(obs.Event{T: now, Kind: obs.KindRecv, Dir: l.traceDir, Flags: flags,
+				Seq: pkt.id, Aux: int64(pkt.size), V: float64(now-pkt.sentAt) / float64(time.Millisecond)})
+		}
+		l.Deliver(pkt.meta, pkt.size, pkt.sentAt, now)
 	})
 }

@@ -36,6 +36,10 @@ func (d *Dist) AddAll(o *Dist) {
 // N returns the number of samples.
 func (d *Dist) N() int { return len(d.samples) }
 
+// Samples returns the raw samples in insertion order (sorted ascending if a
+// quantile query has run). The slice is shared — callers must not mutate it.
+func (d *Dist) Samples() []float64 { return d.samples }
+
 // Sum returns the sum of all samples.
 func (d *Dist) Sum() float64 { return d.sum }
 

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
+	"time"
+)
+
+// Serve starts an observability HTTP server on addr exposing the standard
+// net/http/pprof endpoints under /debug/pprof/ and a runtime/metrics
+// snapshot under /debug/runtime-metrics. It returns the server (shut it
+// down with Close) and the bound address — useful when addr requests an
+// ephemeral port ("127.0.0.1:0").
+//
+// The handlers are registered on a private mux, not http.DefaultServeMux,
+// so importing this package never changes the global handler set.
+func Serve(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime-metrics", runtimeMetricsHandler)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return srv, ln.Addr().String(), nil
+}
+
+// runtimeMetricsHandler writes a JSON snapshot of every runtime/metrics
+// sample the Go runtime publishes (scheduler latencies, GC pause
+// histograms, heap sizes), keyed by metric name.
+func runtimeMetricsHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(SnapshotRuntimeMetrics()) //nolint:errcheck // best-effort diagnostics endpoint
+}
+
+// RuntimeHistogram is the JSON shape of a runtime Float64Histogram sample.
+type RuntimeHistogram struct {
+	Buckets []float64 `json:"buckets"`
+	Counts  []uint64  `json:"counts"`
+}
+
+// SnapshotRuntimeMetrics reads every supported runtime/metrics sample and
+// returns it in a JSON-marshalable map: uint64/float64 values directly,
+// histograms as bucket/count pairs. Runtime histogram bucket edges use
+// ±Inf as open boundaries, which encoding/json rejects, so non-finite
+// floats are clamped to ±MaxFloat64 before export.
+func SnapshotRuntimeMetrics() map[string]any {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	out := make(map[string]any, len(samples))
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			out[s.Name] = s.Value.Uint64()
+		case metrics.KindFloat64:
+			out[s.Name] = jsonSafeFloat(s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			buckets := make([]float64, len(h.Buckets))
+			for i, b := range h.Buckets {
+				buckets[i] = jsonSafeFloat(b)
+			}
+			out[s.Name] = RuntimeHistogram{Buckets: buckets, Counts: h.Counts}
+		}
+	}
+	return out
+}
+
+// jsonSafeFloat maps values encoding/json cannot marshal (±Inf, NaN) onto
+// representable sentinels: infinities clamp to ±MaxFloat64, NaN to zero.
+func jsonSafeFloat(v float64) float64 {
+	switch {
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	case math.IsNaN(v):
+		return 0
+	default:
+		return v
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestServePprofAndRuntimeMetrics(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, path := range []string{"/debug/pprof/", "/debug/runtime-metrics"} {
+		resp, err := client.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Errorf("GET %s: empty body", path)
+		}
+		if path == "/debug/runtime-metrics" {
+			var m map[string]any
+			if err := json.Unmarshal(body, &m); err != nil {
+				t.Errorf("runtime-metrics is not JSON: %v", err)
+			} else if len(m) == 0 {
+				t.Error("runtime-metrics snapshot is empty")
+			}
+		}
+	}
+}
+
+func TestSnapshotRuntimeMetrics(t *testing.T) {
+	m := SnapshotRuntimeMetrics()
+	if len(m) == 0 {
+		t.Fatal("no runtime metrics sampled")
+	}
+	if _, ok := m["/memory/classes/heap/objects:bytes"]; !ok {
+		t.Error("expected heap objects metric in snapshot")
+	}
+}

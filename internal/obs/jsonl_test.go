@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteJSONLStableBytes(t *testing.T) {
+	meta := RunMeta{Label: "urban-P1-grd-gcc", Run: 2, Seed: 42, Duration: 8 * time.Second, Events: 3, Dropped: 0}
+	events := []Event{
+		{T: 1500 * time.Microsecond, Kind: KindSend, Dir: DirUp, Seq: 0, Aux: 1200},
+		{T: 33 * time.Millisecond, Kind: KindRecv, Dir: DirUp, Seq: 0, Aux: 1200, V: 31.5},
+		{T: 40 * time.Millisecond, Kind: KindSend, Dir: DirUp, Flags: FlagCtrl, Seq: 1, Aux: 60},
+	}
+	want := strings.Join([]string{
+		`{"kind":"meta","label":"urban-P1-grd-gcc","run":2,"seed":42,"duration_us":8000000,"events":3,"dropped":0}`,
+		`{"t_us":1500,"kind":"send","dir":"up","seq":0,"aux":1200}`,
+		`{"t_us":33000,"kind":"recv","dir":"up","seq":0,"aux":1200,"v":31.5}`,
+		`{"t_us":40000,"kind":"send","dir":"up","ctrl":true,"seq":1,"aux":60}`,
+	}, "\n") + "\n"
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, meta, events); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if got := buf.String(); got != want {
+		t.Errorf("JSONL mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+
+	// Rendering the same inputs twice must be byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteJSONL(&buf2, meta, events); err != nil {
+		t.Fatalf("WriteJSONL (second): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two renderings of the same trace differ")
+	}
+}
+
+func TestEventKindAndDirStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KindSend: "send", KindRecv: "recv", KindDrop: "drop",
+		KindOutageStart: "outage-start", KindOutageEnd: "outage-end",
+		KindHandover: "handover", KindRLF: "rlf", KindCC: "cc",
+		KindFramePlay: "frame-play", KindFrameSkip: "frame-skip", KindStall: "stall",
+		Kind(250): "unknown",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	dirs := map[Dir]string{DirNone: "", DirUp: "up", DirDown: "down", DirUp2: "up2"}
+	for d, want := range dirs {
+		if got := d.String(); got != want {
+			t.Errorf("Dir(%d).String() = %q, want %q", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Add("packets_sent", 10)
+	r.Add("packets_sent", 5)
+	if r.Counter("packets_sent") != 15 {
+		t.Fatalf("counter = %d, want 15", r.Counter("packets_sent"))
+	}
+	r.SetGauge("queue_ms", 10)
+	r.SetGauge("queue_ms", 4) // gauges keep the watermark
+	r.SetGauge("queue_ms", 25)
+	if r.Gauge("queue_ms") != 25 {
+		t.Fatalf("gauge = %g, want 25", r.Gauge("queue_ms"))
+	}
+	h := r.Histogram("owd_ms", LatencyMsBuckets)
+	h.Observe(3)
+	h.Observe(30)
+	h.Observe(1e9) // overflow
+	if h.Count != 3 || h.Overflow != 1 {
+		t.Fatalf("count=%d overflow=%d, want 3/1", h.Count, h.Overflow)
+	}
+	if again := r.Histogram("owd_ms", LatencyMsBuckets); again != h {
+		t.Fatal("re-registering the same layout must return the same histogram")
+	}
+}
+
+func TestHistogramLayoutMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", LatencyMsBuckets)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on layout mismatch")
+		}
+	}()
+	r.Histogram("h", RateMbpsBuckets)
+}
+
+// TestHistogramCountInvariant is the property test: for arbitrary
+// observation streams (including infinities and NaN) across every fixed
+// layout, the bucket counts plus overflow always sum to the observation
+// count.
+func TestHistogramCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	layouts := [][]float64{LatencyMsBuckets, RateMbpsBuckets, SSIMBuckets, FPSBuckets}
+	for trial := 0; trial < 200; trial++ {
+		layout := layouts[trial%len(layouts)]
+		h := &Histogram{Buckets: layout, Counts: make([]int64, len(layout))}
+		n := rng.Intn(500)
+		for i := 0; i < n; i++ {
+			var v float64
+			switch rng.Intn(10) {
+			case 0:
+				v = math.Inf(1)
+			case 1:
+				v = math.Inf(-1)
+			case 2:
+				v = math.NaN()
+			default:
+				v = (rng.Float64() - 0.2) * 3000
+			}
+			h.Observe(v)
+		}
+		var sum int64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		sum += h.Overflow
+		if sum != h.Count || h.Count != int64(n) {
+			t.Fatalf("trial %d: bucket sum %d + overflow, count %d, observed %d", trial, sum, h.Count, n)
+		}
+		if math.IsNaN(h.Sum) {
+			t.Fatalf("trial %d: NaN observation poisoned Sum", trial)
+		}
+	}
+}
+
+// TestMergePartitionInvariant is the second property: campaign metrics are
+// independent of the worker count. The engine always folds per-run
+// registries flat, in run-index order — workers only change which
+// goroutine *computes* each run, never the merge order — so two flat
+// merges of the same per-run registries are byte-identical. Chunked
+// (group-then-merge) folds are additionally exact for every integer field
+// and for gauges; only the float histogram Sum is order-sensitive, which
+// is why the engine pins the flat order.
+func TestMergePartitionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		runs := 1 + rng.Intn(12)
+		perRun := make([]*Registry, runs)
+		var wantSent int64
+		for i := range perRun {
+			r := NewRegistry()
+			sent := int64(rng.Intn(1000))
+			r.Add("packets_sent", sent)
+			wantSent += sent
+			r.SetGauge("queue_ms", rng.Float64()*100)
+			h := r.Histogram("owd_ms", LatencyMsBuckets)
+			for j := rng.Intn(200); j > 0; j-- {
+				h.Observe(rng.Float64() * 4000)
+			}
+			perRun[i] = r
+		}
+
+		// Two independent flat merges in run-index order — what the engine
+		// does at every worker count — must export identical bytes.
+		flat := NewRegistry()
+		flat2 := NewRegistry()
+		for _, r := range perRun {
+			flat.Merge(r)
+		}
+		for _, r := range perRun {
+			flat2.Merge(r)
+		}
+		var a, b bytes.Buffer
+		if err := flat.WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := flat2.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("trial %d: two flat run-index-order merges export different bytes:\n%s\nvs\n%s", trial, a.String(), b.String())
+		}
+
+		// Chunked merge: contiguous groups merged first, then folded.
+		chunked := NewRegistry()
+		for lo := 0; lo < runs; {
+			hi := lo + 1 + rng.Intn(runs-lo)
+			group := NewRegistry()
+			for _, r := range perRun[lo:hi] {
+				group.Merge(r)
+			}
+			chunked.Merge(group)
+			lo = hi
+		}
+
+		if flat.Counter("packets_sent") != wantSent || chunked.Counter("packets_sent") != wantSent {
+			t.Fatalf("trial %d: counter sums diverge: flat %d chunked %d want %d",
+				trial, flat.Counter("packets_sent"), chunked.Counter("packets_sent"), wantSent)
+		}
+		if flat.Gauge("queue_ms") != chunked.Gauge("queue_ms") {
+			t.Fatalf("trial %d: gauge max diverges: flat %g chunked %g",
+				trial, flat.Gauge("queue_ms"), chunked.Gauge("queue_ms"))
+		}
+		fh := flat.Histogram("owd_ms", LatencyMsBuckets)
+		ch := chunked.Histogram("owd_ms", LatencyMsBuckets)
+		if fh.Count != ch.Count || fh.Overflow != ch.Overflow {
+			t.Fatalf("trial %d: histogram totals diverge: flat %d/%d chunked %d/%d",
+				trial, fh.Count, fh.Overflow, ch.Count, ch.Overflow)
+		}
+		for i := range fh.Counts {
+			if fh.Counts[i] != ch.Counts[i] {
+				t.Fatalf("trial %d: bucket %d diverges: flat %d chunked %d", trial, i, fh.Counts[i], ch.Counts[i])
+			}
+		}
+		// Float Sum is associative only up to rounding; it must still agree
+		// to within a sliver of the magnitude involved.
+		if diff := math.Abs(fh.Sum - ch.Sum); diff > 1e-6*math.Max(1, math.Abs(fh.Sum)) {
+			t.Fatalf("trial %d: histogram Sum diverges beyond rounding: flat %g chunked %g", trial, fh.Sum, ch.Sum)
+		}
+	}
+}
+
+func TestWriteJSONStable(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Add("b_counter", 2)
+		r.Add("a_counter", 1)
+		r.SetGauge("g", 1.25)
+		h := r.Histogram("owd_ms", LatencyMsBuckets)
+		h.Observe(3.5)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two identical registries export different bytes:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if !bytes.Contains(a.Bytes(), []byte(`"a_counter": 1`)) {
+		t.Errorf("export missing counter: %s", a.String())
+	}
+}

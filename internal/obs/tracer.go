@@ -1,0 +1,91 @@
+package obs
+
+// Tracer collects the typed events of one run. A nil *Tracer is the
+// disabled state: every emit site guards with a nil check (and Emit itself
+// tolerates a nil receiver), so disabled tracing costs one predictable
+// branch and zero allocations on the packet path.
+//
+// With a positive capacity the tracer is a fixed-size ring: the buffer is
+// allocated once up front, Emit never allocates, and once full the oldest
+// events are overwritten (Dropped counts them). With capacity ≤ 0 the
+// tracer grows without bound and keeps everything — the mode trace exports
+// and the golden-trace suite use.
+//
+// A Tracer is owned by a single run and is not safe for concurrent use;
+// campaign parallelism gives every run its own tracer.
+type Tracer struct {
+	buf  []Event
+	ring bool
+	head int // oldest event's index once the ring has wrapped
+	full bool
+	n    int64 // total events emitted
+}
+
+// New returns a tracer. capacity > 0 selects the fixed-size ring;
+// capacity ≤ 0 keeps every event.
+func New(capacity int) *Tracer {
+	if capacity > 0 {
+		return &Tracer{buf: make([]Event, 0, capacity), ring: true}
+	}
+	return &Tracer{}
+}
+
+// Emit records one event. It is safe to call on a nil tracer (a no-op),
+// and in ring mode it never allocates.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.n++
+	if t.ring && len(t.buf) == cap(t.buf) {
+		t.buf[t.head] = ev
+		t.head++
+		if t.head == len(t.buf) {
+			t.head = 0
+		}
+		t.full = true
+		return
+	}
+	t.buf = append(t.buf, ev)
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Emitted returns the total number of events emitted, including any the
+// ring has overwritten.
+func (t *Tracer) Emitted() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Dropped returns how many events the ring overwrote.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.n - int64(len(t.buf))
+}
+
+// Events returns the retained events in emission order (which is
+// simulation-time order). The returned slice is freshly allocated; the
+// caller may keep it.
+func (t *Tracer) Events() []Event {
+	if t == nil || len(t.buf) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(t.buf))
+	if t.full {
+		out = append(out, t.buf[t.head:]...)
+		out = append(out, t.buf[:t.head]...)
+		return out
+	}
+	return append(out, t.buf...)
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func ev(i int) Event {
+	return Event{T: time.Duration(i) * time.Millisecond, Kind: KindSend, Dir: DirUp, Seq: int64(i), Aux: 1200}
+}
+
+func TestTracerUnbounded(t *testing.T) {
+	tr := New(0)
+	for i := 0; i < 1000; i++ {
+		tr.Emit(ev(i))
+	}
+	if tr.Len() != 1000 || tr.Emitted() != 1000 || tr.Dropped() != 0 {
+		t.Fatalf("len=%d emitted=%d dropped=%d, want 1000/1000/0", tr.Len(), tr.Emitted(), tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, e := range evs {
+		if e.Seq != int64(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestTracerRingKeepsNewest(t *testing.T) {
+	tr := New(16)
+	for i := 0; i < 100; i++ {
+		tr.Emit(ev(i))
+	}
+	if tr.Len() != 16 {
+		t.Fatalf("ring len %d, want 16", tr.Len())
+	}
+	if tr.Emitted() != 100 || tr.Dropped() != 84 {
+		t.Fatalf("emitted %d dropped %d, want 100/84", tr.Emitted(), tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, e := range evs {
+		if want := int64(84 + i); e.Seq != want {
+			t.Fatalf("ring event %d has seq %d, want %d (order broken across wrap)", i, e.Seq, want)
+		}
+	}
+}
+
+func TestTracerRingExactCapacity(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 8; i++ {
+		tr.Emit(ev(i))
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped %d before the ring wrapped", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 8 || evs[0].Seq != 0 || evs[7].Seq != 7 {
+		t.Fatalf("unexpected events %+v", evs)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(ev(1)) // must not panic
+	if tr.Len() != 0 || tr.Emitted() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer should report empty state")
+	}
+}
+
+// TestEmitZeroAlloc pins the hot-path contract: emitting into a nil
+// (disabled) tracer and into a warm ring both allocate nothing.
+func TestEmitZeroAlloc(t *testing.T) {
+	var nilTr *Tracer
+	if allocs := testing.AllocsPerRun(1000, func() {
+		nilTr.Emit(Event{Kind: KindSend, Seq: 1, Aux: 1200})
+	}); allocs != 0 {
+		t.Errorf("nil tracer Emit allocates %.1f/op, want 0", allocs)
+	}
+
+	ring := New(256)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		ring.Emit(Event{Kind: KindRecv, Seq: 2, Aux: 1200, V: 31.5})
+	}); allocs != 0 {
+		t.Errorf("ring tracer Emit allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Kind: KindSend, Seq: int64(i), Aux: 1200})
+	}
+}
+
+func BenchmarkEmitRing(b *testing.B) {
+	tr := New(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Kind: KindSend, Seq: int64(i), Aux: 1200})
+	}
+}

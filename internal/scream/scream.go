@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"rpivideo/internal/cc"
+	"rpivideo/internal/obs"
 )
 
 // Config parameterizes the controller.
@@ -134,10 +135,18 @@ type Controller struct {
 
 	// wd is the feedback-starvation watchdog; nil when disabled.
 	wd *cc.Watchdog
+
+	// trace emits one obs.KindCC event per feedback-driven rate decision
+	// (nil = disabled; purely observational).
+	trace *obs.Tracer
 }
 
 var _ cc.Controller = (*Controller)(nil)
 var _ cc.QueueAware = (*Controller)(nil)
+var _ cc.Traceable = (*Controller)(nil)
+
+// SetTracer implements cc.Traceable.
+func (c *Controller) SetTracer(tr *obs.Tracer) { c.trace = tr }
 
 // New returns a SCReAM controller.
 func New(cfg Config) *Controller {
@@ -364,6 +373,10 @@ func (c *Controller) OnFeedback(now time.Duration, acks []cc.Ack) {
 		c.target = c.cfg.MinRate
 	}
 	c.manageQueue(now)
+	if c.trace != nil {
+		c.trace.Emit(obs.Event{T: now, Kind: obs.KindCC,
+			Seq: int64(c.cwnd), Aux: int64(len(acks)), V: c.target})
+	}
 }
 
 // updateCWND applies the LEDBAT-style window update and reports whether a

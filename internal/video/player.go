@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rpivideo/internal/metrics"
+	"rpivideo/internal/obs"
 	"rpivideo/internal/rtp"
 	"rpivideo/internal/sim"
 )
@@ -137,6 +138,10 @@ type Player struct {
 	rateBins [4]int
 	rateSec  int
 
+	// trace emits frame-play/frame-skip/stall events (nil = disabled;
+	// purely observational).
+	trace *obs.Tracer
+
 	task *sim.Task
 }
 
@@ -157,6 +162,9 @@ func NewPlayer(s *sim.Simulator, cfg PlayerConfig, ssim *SSIMModel, encoding fun
 	p.task = s.Every(0, 5*time.Millisecond, p.pump)
 	return p
 }
+
+// SetTracer attaches an event tracer (nil disables tracing).
+func (p *Player) SetTracer(tr *obs.Tracer) { p.trace = tr }
 
 // Stop halts the playback loop.
 func (p *Player) Stop() {
@@ -357,15 +365,27 @@ func (p *Player) maybeRequestKeyframe(now time.Duration) {
 // record appends the frame sample and the stall/FPS bookkeeping.
 func (p *Player) record(pf PlayedFrame, now time.Duration) {
 	p.Frames = append(p.Frames, pf)
-	if !pf.Skipped {
-		if p.everPlayed {
-			if gap := now - p.lastPlayedAt; gap > p.cfg.StallThreshold {
-				p.Stalls = append(p.Stalls, Stall{At: p.lastPlayedAt, Duration: gap})
+	if pf.Skipped {
+		if p.trace != nil {
+			p.trace.Emit(obs.Event{T: now, Kind: obs.KindFrameSkip, Seq: int64(pf.Num)})
+		}
+		return
+	}
+	if p.everPlayed {
+		if gap := now - p.lastPlayedAt; gap > p.cfg.StallThreshold {
+			p.Stalls = append(p.Stalls, Stall{At: p.lastPlayedAt, Duration: gap})
+			if p.trace != nil {
+				p.trace.Emit(obs.Event{T: now, Kind: obs.KindStall,
+					V: float64(gap) / float64(time.Millisecond)})
 			}
 		}
-		p.everPlayed = true
-		p.lastPlayedAt = now
-		p.fpsBins[int(now/time.Second)]++
+	}
+	p.everPlayed = true
+	p.lastPlayedAt = now
+	p.fpsBins[int(now/time.Second)]++
+	if p.trace != nil {
+		p.trace.Emit(obs.Event{T: now, Kind: obs.KindFramePlay, Seq: int64(pf.Num),
+			Aux: int64(pf.Latency / time.Millisecond), V: pf.SSIM})
 	}
 }
 

@@ -26,9 +26,12 @@
 package rpivideo
 
 import (
+	"io"
+
 	"rpivideo/internal/cell"
 	"rpivideo/internal/core"
 	"rpivideo/internal/fault"
+	"rpivideo/internal/obs"
 )
 
 // Environment selects the measurement area of the campaign (§3.1).
@@ -112,6 +115,31 @@ type FaultEpisode = fault.Episode
 // ParseFaultSchedule parses a comma-separated outage schedule like
 // "45s+2s,90s+500ms/down" into scripted fault windows.
 func ParseFaultSchedule(spec string) ([]FaultWindow, error) { return fault.ParseSchedule(spec) }
+
+// Tracer is the deterministic event recorder a run carries when
+// Config.Trace is set; Result.Trace holds it. See internal/obs for the
+// event schema and DESIGN.md §6 for the payload conventions.
+type Tracer = obs.Tracer
+
+// TraceEvent is one recorded simulation event (send, recv, drop, handover,
+// RLF, outage, CC decision, frame playback).
+type TraceEvent = obs.Event
+
+// MetricsRegistry is a campaign metrics snapshot: counters, gauges and
+// fixed-bucket histograms with byte-stable JSON export.
+type MetricsRegistry = obs.Registry
+
+// WriteCampaignTrace renders every traced run of a campaign as JSONL in
+// run-index order; the bytes are identical at any campaign worker count.
+func WriteCampaignTrace(w io.Writer, results []*Result) error {
+	return core.WriteCampaignTrace(w, results)
+}
+
+// WriteCampaignMetrics merges the per-run metric registries in run-index
+// order and writes the campaign registry as indented JSON.
+func WriteCampaignMetrics(w io.Writer, results []*Result) error {
+	return core.WriteCampaignMetrics(w, results)
+}
 
 // Run executes one measurement run.
 func Run(cfg Config) *Result { return core.Run(cfg) }
