@@ -56,6 +56,7 @@ var registry = []struct {
 	{"ext-aqm", "CoDel AQM on the bottleneck (§5)", experiments.ExtAQM},
 	{"ext-mpath", "multipath duplication (§5)", experiments.ExtMultipath},
 	{"robust", "fault injection: outages and graceful degradation", experiments.Robustness},
+	{"repair", "packet-loss repair: NACK/RTX vs PLI-only", experiments.Repair},
 }
 
 func main() {
@@ -65,7 +66,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"concurrent campaign runs (results are identical at any setting)")
 	faults := flag.String("faults", "",
-		"scripted outage schedule for the robust experiment, e.g. \"45s+2s,70s+500ms/up\"")
+		"scripted fault schedule for the robust/repair experiments: \"start+dur\" outages, \"start~dur\" loss fades, e.g. \"45s+2s,70s~80ms/up\"")
 	list := flag.Bool("list", false, "list experiment and scenario IDs and exit")
 	scenario := flag.String("scenario", "", "run a named observability scenario instead of experiments")
 	tracePath := flag.String("trace", "", "write the scenario's event trace as JSONL to this file (requires -scenario)")

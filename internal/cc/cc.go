@@ -69,6 +69,37 @@ type Traceable interface {
 	SetTracer(*obs.Tracer)
 }
 
+// RepairAware is implemented by controllers that account retransmission
+// traffic against their media target. The repair layer's budget registers
+// its spend-rate probe here (bits/s over a trailing window); the controller
+// subtracts it from the encoder target so media plus repair together honor
+// the congested rate, instead of RTX riding on top of it. The run harness
+// type-asserts against it, so the Controller interface stays unchanged for
+// regimes that never repair.
+type RepairAware interface {
+	// SetRepairSpend registers the repair spend-rate probe; nil detaches.
+	SetRepairSpend(func(now time.Duration) float64)
+}
+
+// repairAdjust subtracts the repair spend from a media target, floored at
+// min: even a busy repair path must not starve the encoder below its
+// operating floor.
+func repairAdjust(target float64, spend func(time.Duration) float64, now time.Duration, min float64) float64 {
+	if spend == nil {
+		return target
+	}
+	target -= spend(now)
+	if target < min {
+		return min
+	}
+	return target
+}
+
+// RepairAdjust is repairAdjust for controllers outside this package.
+func RepairAdjust(target float64, spend func(time.Duration) float64, now time.Duration, min float64) float64 {
+	return repairAdjust(target, spend, now, min)
+}
+
 // Static is the paper's baseline: a constant bitrate chosen per environment
 // (25 Mbps urban, 8 Mbps rural) from trial runs.
 type Static struct {
@@ -77,6 +108,8 @@ type Static struct {
 	// PacingFactor multiplies Rate for the pacer to absorb encoder
 	// burstiness; 1.0 if zero.
 	PacingFactor float64
+
+	repairSpend func(time.Duration) float64
 }
 
 // NewStatic returns a constant-bitrate controller.
@@ -90,8 +123,15 @@ func (s *Static) OnPacketSent(SentPacket) {}
 // OnFeedback implements Controller.
 func (s *Static) OnFeedback(time.Duration, []Ack) {}
 
-// TargetBitrate implements Controller.
-func (s *Static) TargetBitrate(time.Duration) float64 { return s.Rate }
+// TargetBitrate implements Controller. Repair spend comes out of the
+// constant rate (floored at half, the static regime's de facto minimum) so
+// the wire never carries more than the provisioned bitrate.
+func (s *Static) TargetBitrate(now time.Duration) float64 {
+	return repairAdjust(s.Rate, s.repairSpend, now, s.Rate/2)
+}
+
+// SetRepairSpend implements RepairAware.
+func (s *Static) SetRepairSpend(f func(time.Duration) float64) { s.repairSpend = f }
 
 // PacingRate implements Controller.
 func (s *Static) PacingRate(time.Duration) float64 {

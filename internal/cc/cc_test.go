@@ -211,3 +211,23 @@ func TestPropertySendQueueAccounting(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRepairAwareAdjustsTarget(t *testing.T) {
+	s := NewStatic(25e6)
+	if got := s.TargetBitrate(0); got != 25e6 {
+		t.Fatalf("target before probe: %v", got)
+	}
+	s.SetRepairSpend(func(time.Duration) float64 { return 3e6 })
+	if got := s.TargetBitrate(0); got != 22e6 {
+		t.Fatalf("target with 3 Mbps repair spend: %v", got)
+	}
+	// The floor holds even under a pathological spend report.
+	s.SetRepairSpend(func(time.Duration) float64 { return 40e6 })
+	if got := s.TargetBitrate(0); got != 12.5e6 {
+		t.Fatalf("floored target: %v", got)
+	}
+	s.SetRepairSpend(nil)
+	if got := s.TargetBitrate(0); got != 25e6 {
+		t.Fatalf("target after detach: %v", got)
+	}
+}

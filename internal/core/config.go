@@ -10,6 +10,7 @@ import (
 
 	"rpivideo/internal/cell"
 	"rpivideo/internal/fault"
+	"rpivideo/internal/repair"
 )
 
 // CCKind selects the rate-control regime (§3.2: static, GCC or SCReAM).
@@ -120,6 +121,12 @@ type Config struct {
 	// they exercise (see internal/fault). The zero value disables
 	// everything and leaves the calibrated campaign results untouched.
 	Faults fault.Config
+
+	// Repair arms the NACK/RTX packet-loss repair layer (internal/repair).
+	// The zero value disables it and leaves the calibrated campaign
+	// results untouched; set Enabled (zero fields then take the
+	// calibrated defaults via WithDefaults).
+	Repair repair.Config
 }
 
 // watchdogTimeout resolves the feedback-starvation threshold when the

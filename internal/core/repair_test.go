@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rpivideo/internal/cell"
+	"rpivideo/internal/repair"
+)
+
+// repairFingerprint extends faultFingerprint with every repair-layer field
+// so repaired runs can be compared byte-for-byte too.
+func repairFingerprint(r *Result) string {
+	var sb strings.Builder
+	sb.WriteString(faultFingerprint(r))
+	fmt.Fprintf(&sb, "nacks=%d repaired=%d/%d late=%d abandoned=%d\n",
+		r.NacksSent, r.PacketsRepaired, r.FramesRepaired, r.RepairLate, r.RepairAbandoned)
+	fmt.Fprintf(&sb, "denied=%d misses=%d rtxbytes=%d accrued=%.6f\n",
+		r.RepairDenied, r.RepairCacheMisses, r.RtxBytes, r.RepairBudgetAccrued)
+	fmt.Fprintf(&sb, "rtx=%d/%d/%d/%d/%d\n",
+		r.RtxSent, r.RtxDelivered, r.RtxLost, r.RtxStaleDrops, r.RtxOverflows)
+	return sb.String()
+}
+
+// repairedConfig is faultedConfig with the NACK/RTX layer armed: scripted
+// blackouts plus routine radio loss give the detector both abandonment and
+// repair work.
+func repairedConfig(cc CCKind) Config {
+	cfg := faultedConfig(cc)
+	cfg.Repair = repair.Config{Enabled: true}
+	return cfg
+}
+
+// TestRepairDeterministicAcrossWorkers: with the repair layer armed on top
+// of the full fault stack, a fixed seed must reproduce byte-identically —
+// every NACK, retransmission and budget decision included — serially and at
+// any worker count.
+func TestRepairDeterministicAcrossWorkers(t *testing.T) {
+	cfg := repairedConfig(CCGCC)
+	const runs = 3
+	serial, serr := RunCampaignWithOptions(cfg, runs, CampaignOptions{Workers: 1})
+	par, perr := RunCampaignWithOptions(cfg, runs, CampaignOptions{Workers: 3})
+	for i := 0; i < runs; i++ {
+		if serr[i] != nil || perr[i] != nil {
+			t.Fatalf("run %d errored: serial %v, parallel %v", i, serr[i], perr[i])
+		}
+		a, b := repairFingerprint(serial[i]), repairFingerprint(par[i])
+		if a != b {
+			t.Errorf("repaired run %d differs between serial and parallel:\n--- serial ---\n%s--- parallel ---\n%s", i, a, b)
+		}
+	}
+	if a, b := repairFingerprint(Run(cfg)), repairFingerprint(Run(cfg)); a != b {
+		t.Errorf("repaired run not reproducible:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}
+
+// TestRepairActiveAndBudgetBounded: under the fault schedule the layer must
+// actually work — NACKs sent, packets repaired — and the hard budget bound
+// RtxBytes ≤ RepairBudgetAccrued must hold for every controller.
+func TestRepairActiveAndBudgetBounded(t *testing.T) {
+	// Per-controller seeds where the Gilbert model actually produces an
+	// in-band loss burst within the 40 s run (at PER 4e-4 with mean burst
+	// 10, some seeds see none).
+	seeds := map[CCKind]int64{CCStatic: 77, CCGCC: 77, CCSCReAM: 1}
+	for _, cc := range []CCKind{CCStatic, CCGCC, CCSCReAM} {
+		cfg := repairedConfig(cc)
+		cfg.Seed = seeds[cc]
+		r := Run(cfg)
+		if r.NacksSent == 0 {
+			t.Errorf("%v: no NACKs sent under radio loss + blackouts", cc)
+		}
+		if r.PacketsRepaired == 0 {
+			t.Errorf("%v: no packets repaired", cc)
+		}
+		if float64(r.RtxBytes) > r.RepairBudgetAccrued {
+			t.Errorf("%v: repair bytes %d exceed accrued budget %.0f", cc,
+				r.RtxBytes, r.RepairBudgetAccrued)
+		}
+		if r.RtxSent == 0 {
+			t.Errorf("%v: no RTX packets entered the uplink", cc)
+		}
+		// The blackout spans (2 s and 800 ms) exceed the retry budget's
+		// reach, so some losses must have been abandoned to the PLI path.
+		if r.RepairAbandoned == 0 {
+			t.Errorf("%v: no losses abandoned across a 2 s blackout", cc)
+		}
+	}
+}
+
+// TestRepairDisabledInert: a zero Repair config must leave the calibrated
+// baseline untouched — identical fingerprint to a pre-repair run and no
+// repair metrics.
+func TestRepairDisabledInert(t *testing.T) {
+	base := Config{Env: cell.Urban, Air: true, CC: CCGCC, Seed: 5, Duration: 25 * time.Second}
+	r := Run(base)
+	if r.NacksSent != 0 || r.PacketsRepaired != 0 || r.RtxSent != 0 ||
+		r.RtxBytes != 0 || r.RepairBudgetAccrued != 0 {
+		t.Errorf("zero repair config produced repair metrics: nacks=%d repaired=%d rtx=%d",
+			r.NacksSent, r.PacketsRepaired, r.RtxSent)
+	}
+}

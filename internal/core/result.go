@@ -125,6 +125,22 @@ type Result struct {
 	RecoveryMs        metrics.Dist    // per-episode time for the target rate to return to ≥80% of its pre-outage value (ms)
 	PostOutageQueueMs float64         // worst uplink queue delay within 5 s after an episode (ms)
 	FaultEpisodes     []fault.Episode // the run's outage timeline
+
+	// Repair-layer metrics (video workloads with Config.Repair enabled).
+	NacksSent         int // NACK feedback packets the receiver emitted
+	PacketsRepaired   int // media packets recovered by RTX before playout
+	FramesRepaired    int // played frames completed by at least one RTX
+	RepairLate        int // losses healed by the original arriving late
+	RepairAbandoned   int // losses given up after the retry cap
+	RepairDenied      int // retransmissions refused by the budget
+	RepairCacheMisses int // NACKed packets the sender no longer held
+	RtxBytes          int // retransmission bytes offered to the uplink
+	// RepairBudgetAccrued is the cumulative byte allowance the budget
+	// granted; RtxBytes ≤ RepairBudgetAccrued is the layer's hard bound.
+	RepairBudgetAccrued float64
+	// RTX plane counters from the uplink (conservation-checked in
+	// internal/link; surfaced here for experiment shape checks).
+	RtxSent, RtxDelivered, RtxLost, RtxStaleDrops, RtxOverflows int
 }
 
 // GoodputMean returns the mean per-second goodput in Mbps.
@@ -168,6 +184,19 @@ func (r *Result) MetricsRegistry() *obs.Registry {
 	reg.Add("stalls", int64(len(r.Stalls)))
 	reg.Add("keyframe_requests", int64(r.KeyframeRequests))
 	reg.Add("multipath_duplicates", int64(r.MultipathDuplicates))
+	reg.Add("nacks_sent", int64(r.NacksSent))
+	reg.Add("packets_repaired", int64(r.PacketsRepaired))
+	reg.Add("frames_repaired", int64(r.FramesRepaired))
+	reg.Add("repair_late", int64(r.RepairLate))
+	reg.Add("repair_abandoned", int64(r.RepairAbandoned))
+	reg.Add("repair_denied", int64(r.RepairDenied))
+	reg.Add("repair_cache_misses", int64(r.RepairCacheMisses))
+	reg.Add("rtx_bytes", int64(r.RtxBytes))
+	reg.Add("rtx_sent", int64(r.RtxSent))
+	reg.Add("rtx_delivered", int64(r.RtxDelivered))
+	reg.Add("rtx_lost", int64(r.RtxLost))
+	reg.Add("rtx_stale_drops", int64(r.RtxStaleDrops))
+	reg.Add("rtx_overflows", int64(r.RtxOverflows))
 
 	reg.SetGauge("post_outage_queue_ms_max", r.PostOutageQueueMs)
 	reg.SetGauge("ramp_up_ms_max", float64(r.RampUpTo25)/float64(time.Millisecond))
@@ -262,6 +291,20 @@ func Merge(results []*Result) *Result {
 			out.PostOutageQueueMs = r.PostOutageQueueMs
 		}
 		out.FaultEpisodes = append(out.FaultEpisodes, r.FaultEpisodes...)
+		out.NacksSent += r.NacksSent
+		out.PacketsRepaired += r.PacketsRepaired
+		out.FramesRepaired += r.FramesRepaired
+		out.RepairLate += r.RepairLate
+		out.RepairAbandoned += r.RepairAbandoned
+		out.RepairDenied += r.RepairDenied
+		out.RepairCacheMisses += r.RepairCacheMisses
+		out.RtxBytes += r.RtxBytes
+		out.RepairBudgetAccrued += r.RepairBudgetAccrued
+		out.RtxSent += r.RtxSent
+		out.RtxDelivered += r.RtxDelivered
+		out.RtxLost += r.RtxLost
+		out.RtxStaleDrops += r.RtxStaleDrops
+		out.RtxOverflows += r.RtxOverflows
 	}
 	if sentSum > 0 {
 		out.PER = float64(lostSum) / float64(sentSum)

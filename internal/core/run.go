@@ -12,6 +12,7 @@ import (
 	"rpivideo/internal/link"
 	"rpivideo/internal/metrics"
 	"rpivideo/internal/obs"
+	"rpivideo/internal/repair"
 	"rpivideo/internal/rtp"
 	"rpivideo/internal/scream"
 	"rpivideo/internal/sim"
@@ -189,11 +190,64 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 		pl.KeyframeRequest = func() { downlink.Send(kfRequest{}, 40) }
 	}
 
+	// The NACK/RTX repair layer (internal/repair): receiver-side loss
+	// detector, sender-side retransmission cache and repair budget. All
+	// three are driven from this function's clock and callbacks; the
+	// package schedules nothing itself, so the disabled path leaves the
+	// calibrated runs untouched.
+	var (
+		det       *repair.Detector
+		rtxCache  *repair.Cache
+		rtxBudget *repair.Budget
+		rcfg      repair.Config
+		rtxSeq    uint16
+	)
+	if cfg.Repair.Enabled {
+		rcfg = cfg.Repair.WithDefaults()
+		det = repair.NewDetector(rcfg)
+		rtxCache = repair.NewCache(rcfg)
+		rtxBudget = repair.NewBudget(rcfg)
+		if res.Trace != nil {
+			det.SetTracer(res.Trace)
+		}
+		// Account repair spend against the media target so media plus RTX
+		// together honor the congested rate (cc.RepairAware).
+		if ra, ok := ctrl.(cc.RepairAware); ok {
+			ra.SetRepairSpend(rtxBudget.SpendRate)
+		}
+	}
+
 	snd.Transmit = func(p *rtp.Packet, size int) {
+		if rtxCache != nil {
+			rtxCache.Store(p, s.Now())
+		}
 		uplink.Send(p, size)
 		if uplink2 != nil {
 			uplink2.Send(p, size)
 		}
+	}
+
+	if det != nil {
+		// Receiver-side NACK scheduler: losses past the reorder tolerance
+		// whose (backed-off) retry timer has expired are batched into one
+		// RFC 4585 Generic NACK on the feedback path.
+		s.Every(rcfg.TickInterval, rcfg.TickInterval, func() {
+			seqs := det.Tick(s.Now())
+			if len(seqs) == 0 {
+				return
+			}
+			n := &rtp.NACK{SenderSSRC: 1, MediaSSRC: scfg.SSRC, Pairs: rtp.NackPairs(seqs)}
+			buf, err := n.Marshal()
+			if err != nil {
+				return
+			}
+			res.NacksSent++
+			if res.Trace != nil {
+				res.Trace.Emit(obs.Event{T: s.Now(), Kind: obs.KindNack, Dir: obs.DirDown,
+					Flags: obs.FlagCtrl, Seq: int64(seqs[0]), Aux: int64(len(seqs))})
+			}
+			downlink.Send(nackBuf(buf), len(buf))
+		})
 	}
 
 	// RFC 3550 sender/receiver reports, as the paper's pipeline logs them:
@@ -295,6 +349,22 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 			return
 		}
 		p := meta.(*rtp.Packet)
+		if det != nil && p.Header.PayloadType == rcfg.RtxPayloadType {
+			// An RFC 4588 retransmission: restore the original packet and
+			// hand it to the player iff its loss is still open. RTX stays
+			// invisible to the congestion-control feedback (no TWCC/CCFB
+			// recording) — the budget already charged it to the target.
+			orig, osn, err := rtp.UnwrapRTX(p, scfg.SSRC, scfg.PayloadType)
+			if err != nil || !det.OnRepair(osn, at) {
+				return // malformed, duplicate, or already healed/abandoned
+			}
+			if uplink2 != nil {
+				seen[osn] = true
+			}
+			goodputBytes[int(at/time.Second)] += size
+			pl.OnRepairedPacket(orig, at)
+			return
+		}
 		if uplink2 != nil {
 			seq := p.Header.SequenceNumber
 			if seen[seq] {
@@ -323,6 +393,9 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 		}
 		goodputBytes[int(at/time.Second)] += size
 		recStats.Record(p.Header.SequenceNumber, p.Header.Timestamp, at)
+		if det != nil {
+			det.OnPacket(p.Header.SequenceNumber, at)
+		}
 		pl.OnPacket(p, at)
 		switch cfg.CC {
 		case CCGCC:
@@ -347,6 +420,34 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 	downlink.Deliver = func(meta any, size int, sentAt, at time.Duration) {
 		if _, ok := meta.(kfRequest); ok {
 			snd.ForceKeyframe()
+			return
+		}
+		if nb, ok := meta.(nackBuf); ok {
+			if rtxCache == nil {
+				return
+			}
+			var n rtp.NACK
+			if err := n.Unmarshal([]byte(nb)); err != nil {
+				return
+			}
+			for _, seq := range n.Seqs() {
+				orig := rtxCache.Lookup(seq, at)
+				if orig == nil {
+					continue // evicted, aged out, or resent to the cap
+				}
+				rtxSeq++
+				rtxPkt := rtp.WrapRTX(orig, rcfg.RtxSSRC, rcfg.RtxPayloadType, rtxSeq)
+				size := rtxPkt.MarshalSize()
+				if !rtxBudget.Allow(at, size, ctrl.TargetBitrate(at)) {
+					continue // budget empty: degrade to the PLI path
+				}
+				res.RtxBytes += size
+				if res.Trace != nil {
+					res.Trace.Emit(obs.Event{T: at, Kind: obs.KindRTX, Dir: obs.DirUp,
+						Flags: obs.FlagRTX, Seq: int64(seq), Aux: int64(size)})
+				}
+				uplink.SendRTX(rtxPkt, size)
+			}
 			return
 		}
 		if rb, ok := meta.(rtcpBuf); ok {
@@ -425,7 +526,9 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 	)
 	if faultsOn {
 		for _, w := range cfg.Faults.Windows {
-			if w.Start >= dur {
+			if w.Start >= dur || w.Loss {
+				// Loss fades erase packets without interrupting service, so
+				// they are not outage episodes and need no recovery tracking.
 				continue
 			}
 			end := w.End()
@@ -562,6 +665,20 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 		res.StaleDrops = uplink.StaleDrops
 		res.KeyframeRequests = pl.KeyframeRequests
 	}
+	if cfg.Repair.Enabled {
+		res.PacketsRepaired = pl.PacketsRepaired
+		res.FramesRepaired = pl.FramesRepaired
+		res.RepairLate = det.Late
+		res.RepairAbandoned = det.Abandoned
+		res.RepairDenied = rtxBudget.Denied
+		res.RepairCacheMisses = rtxCache.Misses
+		res.RepairBudgetAccrued = rtxBudget.Accrued()
+		res.RtxSent = uplink.RtxSent
+		res.RtxDelivered = uplink.RtxDelivered
+		res.RtxLost = uplink.RtxLost
+		res.RtxStaleDrops = uplink.RtxStaleDrops
+		res.RtxOverflows = uplink.RtxOverflows
+	}
 }
 
 // rtcpBuf marks receiver-report bytes on the downlink so they are not
@@ -570,6 +687,10 @@ type rtcpBuf []byte
 
 // kfRequest is the receiver's PLI-style keyframe request on the downlink.
 type kfRequest struct{}
+
+// nackBuf marks RFC 4585 Generic NACK bytes on the downlink so they are
+// not mistaken for congestion-control feedback.
+type nackBuf []byte
 
 // pingProbe is the meta carried by Fig. 13 probe packets.
 type pingProbe struct {

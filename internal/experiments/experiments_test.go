@@ -39,6 +39,7 @@ func TestAllExperimentsSatisfyShapeChecks(t *testing.T) {
 		{"ext-aqm", ExtAQM},
 		{"ext-mpath", ExtMultipath},
 		{"robust", Robustness},
+		{"repair", Repair},
 	}
 	for _, e := range exps {
 		e := e

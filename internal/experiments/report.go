@@ -191,5 +191,6 @@ func All(o Options) []*Report {
 		ExtAQM(o),
 		ExtMultipath(o),
 		Robustness(o),
+		Repair(o),
 	}
 }

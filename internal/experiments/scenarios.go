@@ -7,6 +7,7 @@ import (
 	"rpivideo/internal/cell"
 	"rpivideo/internal/core"
 	"rpivideo/internal/fault"
+	"rpivideo/internal/repair"
 )
 
 // Scenario is one small named configuration for observability runs: the
@@ -55,6 +56,31 @@ func Scenarios() []Scenario {
 					Watchdog:         true,
 					KeyframeRecovery: true,
 				},
+			},
+			Runs: 1,
+		},
+		{
+			Name: "repair-blackout",
+			Desc: "urban ground GCC with NACK/RTX repair through a 60 ms loss fade at 1.5 s and a 2 s blackout at 3 s, 8 s — the repair-path trace",
+			Config: core.Config{
+				Env:      cell.Urban,
+				Op:       cell.P1,
+				CC:       core.CCGCC,
+				Seed:     1,
+				Duration: 8 * time.Second,
+				Faults: fault.Config{
+					Windows: []fault.Window{
+						// The fade exercises the full repair wire path
+						// (nack-sent → rtx-sent → repair-ok); the blackout
+						// exercises the outage guard's wholesale hand-off
+						// to the PLI path (repair-abandoned).
+						{Start: 1500 * time.Millisecond, Duration: 60 * time.Millisecond, Dir: fault.Both, Loss: true},
+						{Start: 3 * time.Second, Duration: 2 * time.Second, Dir: fault.Both},
+					},
+					Watchdog:         true,
+					KeyframeRecovery: true,
+				},
+				Repair: repair.Config{Enabled: true},
 			},
 			Runs: 1,
 		},

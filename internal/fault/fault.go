@@ -40,22 +40,31 @@ func (d Direction) String() string {
 	}
 }
 
-// Window is one scripted outage: the link(s) in Dir deliver nothing in
-// [Start, Start+Duration).
+// Window is one scripted fault episode on the link(s) in Dir over
+// [Start, Start+Duration). With Loss false it is a coverage outage:
+// service is interrupted, packets queue behind the interruption and the
+// stale-backlog flush applies at resumption. With Loss true it is a deep
+// fade: the radio keeps transmitting but every packet in the window is
+// erased in flight — the §4.3 loss burst, the regime selective
+// retransmission exists for — and none of the outage machinery (service
+// interruption, watchdog starvation, stale flush) engages.
 type Window struct {
 	Start    time.Duration
 	Duration time.Duration
 	Dir      Direction
+	Loss     bool
 }
 
 // End returns the instant service resumes.
 func (w Window) End() time.Duration { return w.Start + w.Duration }
 
-// ParseSchedule parses a comma-separated scripted outage schedule. Each
-// element is start+duration with an optional direction suffix:
+// ParseSchedule parses a comma-separated scripted fault schedule. Each
+// element is start+duration (a coverage outage) or start~duration (a deep
+// fade erasing packets in flight), with an optional direction suffix:
 //
-//	"45s+2s"              both directions dark for 2 s at t=45 s
+//	"45s+2s"                 both directions dark for 2 s at t=45 s
 //	"45s+2s,90s+500ms/down"  plus a feedback-only blackout at t=90 s
+//	"20s~60ms"               a 60 ms loss fade at t=20 s
 //
 // Suffixes are /up, /down and /both (the default).
 func ParseSchedule(spec string) ([]Window, error) {
@@ -81,7 +90,12 @@ func ParseSchedule(spec string) ([]Window, error) {
 		}
 		start, dur, ok := strings.Cut(field, "+")
 		if !ok {
-			return nil, fmt.Errorf("fault: bad window %q (want start+duration, e.g. 45s+2s)", field)
+			if start, dur, ok = strings.Cut(field, "~"); ok {
+				w.Loss = true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("fault: bad window %q (want start+duration for an outage or start~duration for a loss fade, e.g. 45s+2s or 20s~60ms)", field)
 		}
 		var err error
 		if w.Start, err = time.ParseDuration(start); err != nil {
@@ -140,23 +154,15 @@ func (c Config) Enabled() bool { return len(c.Windows) > 0 || c.RLF }
 type span struct{ from, to time.Duration }
 
 // Line is one link direction's view of a scripted schedule: the sorted,
-// merged windows that silence that direction.
+// merged outage windows that silence that direction, plus the loss-fade
+// windows that erase its packets in flight.
 type Line struct {
-	spans []span
+	spans []span // outages (service interrupted)
+	loss  []span // fades (packets erased, service up)
 }
 
-// NewLine filters the windows that apply to dir, sorts and merges them.
-// It returns nil when none apply, which Blocked treats as never blocked.
-func NewLine(ws []Window, dir Direction) *Line {
-	var spans []span
-	for _, w := range ws {
-		if w.Duration <= 0 {
-			continue
-		}
-		if w.Dir == Both || w.Dir == dir {
-			spans = append(spans, span{from: w.Start, to: w.End()})
-		}
-	}
+// mergeSpans sorts and coalesces overlapping intervals.
+func mergeSpans(spans []span) []span {
 	if len(spans) == 0 {
 		return nil
 	}
@@ -172,7 +178,31 @@ func NewLine(ws []Window, dir Direction) *Line {
 		}
 		merged = append(merged, s)
 	}
-	return &Line{spans: merged}
+	return merged
+}
+
+// NewLine filters the windows that apply to dir, sorts and merges them.
+// It returns nil when none apply, which Blocked and Lossy treat as never
+// blocked and never lossy.
+func NewLine(ws []Window, dir Direction) *Line {
+	var outages, fades []span
+	for _, w := range ws {
+		if w.Duration <= 0 {
+			continue
+		}
+		if w.Dir != Both && w.Dir != dir {
+			continue
+		}
+		if w.Loss {
+			fades = append(fades, span{from: w.Start, to: w.End()})
+		} else {
+			outages = append(outages, span{from: w.Start, to: w.End()})
+		}
+	}
+	if len(outages) == 0 && len(fades) == 0 {
+		return nil
+	}
+	return &Line{spans: mergeSpans(outages), loss: mergeSpans(fades)}
 }
 
 // Blocked reports whether the line is silenced at now, and until when.
@@ -189,6 +219,23 @@ func (l *Line) Blocked(now time.Duration) (until time.Duration, blocked bool) {
 		}
 	}
 	return 0, false
+}
+
+// Lossy reports whether the line is inside a loss fade at now: service is
+// up but every packet transmitted is erased.
+func (l *Line) Lossy(now time.Duration) bool {
+	if l == nil {
+		return false
+	}
+	for _, s := range l.loss {
+		if now < s.from {
+			return false
+		}
+		if now < s.to {
+			return true
+		}
+	}
+	return false
 }
 
 // Kind classifies a fault episode.

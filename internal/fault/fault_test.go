@@ -172,6 +172,63 @@ func TestLineNilAndEmpty(t *testing.T) {
 	}
 }
 
+func TestParseScheduleLossFades(t *testing.T) {
+	ws, err := ParseSchedule("20s~60ms, 45s+2s ,70s~80ms/up")
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	want := []Window{
+		{Start: 20 * time.Second, Duration: 60 * time.Millisecond, Dir: Both, Loss: true},
+		{Start: 45 * time.Second, Duration: 2 * time.Second, Dir: Both},
+		{Start: 70 * time.Second, Duration: 80 * time.Millisecond, Dir: Uplink, Loss: true},
+	}
+	if len(ws) != len(want) {
+		t.Fatalf("got %d windows, want %d", len(ws), len(want))
+	}
+	for i := range want {
+		if ws[i] != want[i] {
+			t.Errorf("window %d: got %+v, want %+v", i, ws[i], want[i])
+		}
+	}
+	if _, err := ParseSchedule("20s~0s"); err == nil {
+		t.Error("zero-duration fade parsed, want error")
+	}
+}
+
+func TestLineLossyIndependentOfBlocked(t *testing.T) {
+	ws := []Window{
+		{Start: 10 * time.Second, Duration: time.Second},                     // outage
+		{Start: 20 * time.Second, Duration: time.Second, Loss: true},         // fade
+		{Start: 20500 * time.Millisecond, Duration: time.Second, Loss: true}, // overlapping fade → [20, 21.5)
+	}
+	l := NewLine(ws, Uplink)
+	if !l.Lossy(20500 * time.Millisecond) {
+		t.Error("inside fade not lossy")
+	}
+	if !l.Lossy(21200 * time.Millisecond) {
+		t.Error("merged fade tail not lossy")
+	}
+	if l.Lossy(21500 * time.Millisecond) {
+		t.Error("lossy at fade end, want clear (half-open interval)")
+	}
+	if l.Lossy(10500 * time.Millisecond) {
+		t.Error("outage window reported lossy")
+	}
+	if _, blocked := l.Blocked(20500 * time.Millisecond); blocked {
+		t.Error("fade window reported blocked: fades must not interrupt service")
+	}
+	if _, blocked := l.Blocked(10500 * time.Millisecond); !blocked {
+		t.Error("outage window not blocked")
+	}
+	var nilLine *Line
+	if nilLine.Lossy(time.Second) {
+		t.Error("nil line reports lossy")
+	}
+	if NewLine([]Window{{Start: 1, Duration: 1, Loss: true}}, Uplink) == nil {
+		t.Error("NewLine with only fades should not be nil")
+	}
+}
+
 func TestConfigEnabled(t *testing.T) {
 	if (Config{}).Enabled() {
 		t.Error("zero Config reports enabled")

@@ -100,14 +100,19 @@ type Controller struct {
 	// wd is the feedback-starvation watchdog; nil when disabled.
 	wd *cc.Watchdog
 
+	// repairSpend, when set, reports the repair layer's recent RTX rate
+	// (bits/s), subtracted from the encoder target.
+	repairSpend func(time.Duration) float64
+
 	// trace emits one obs.KindCC event per feedback-driven rate decision
 	// (nil = disabled; purely observational).
 	trace *obs.Tracer
 }
 
 var (
-	_ cc.Controller = (*Controller)(nil)
-	_ cc.Traceable  = (*Controller)(nil)
+	_ cc.Controller  = (*Controller)(nil)
+	_ cc.Traceable   = (*Controller)(nil)
+	_ cc.RepairAware = (*Controller)(nil)
 )
 
 // SetTracer implements cc.Traceable.
@@ -144,12 +149,17 @@ func (c *Controller) OnPacketSent(cc.SentPacket) {}
 // TargetBitrate implements cc.Controller. A starved feedback path (link
 // outage) freezes the target at the floor: probing blindly into a dead
 // link only deepens the backlog the re-established radio must drain.
+// Repair spend is subtracted (floored at MinRate) so media plus RTX
+// together honor the congested rate.
 func (c *Controller) TargetBitrate(now time.Duration) float64 {
 	if c.wd.Starved(now) {
 		return c.cfg.MinRate
 	}
-	return c.target
+	return cc.RepairAdjust(c.target, c.repairSpend, now, c.cfg.MinRate)
 }
+
+// SetRepairSpend implements cc.RepairAware.
+func (c *Controller) SetRepairSpend(f func(time.Duration) float64) { c.repairSpend = f }
 
 // PacingRate implements cc.Controller.
 func (c *Controller) PacingRate(now time.Duration) float64 {

@@ -23,6 +23,10 @@ func checkConservation(t *testing.T, l *Link, label string) {
 		t.Errorf("%s: control conservation broken: sent=%d but delivered=%d lost=%d queued=%d inflight=%d (sum %d)",
 			label, l.CtrlSent, l.CtrlDelivered, l.CtrlLost, qc, fc, got)
 	}
+	if got := l.RtxDelivered + l.RtxLost + l.RtxOverflows + l.RtxAQMDrops + l.RtxStaleDrops + l.RtxQueued() + l.RtxInFlight(); got != l.RtxSent {
+		t.Errorf("%s: rtx conservation broken: sent=%d but delivered=%d lost=%d overflow=%d aqm=%d stale=%d queued=%d inflight=%d (sum %d)",
+			label, l.RtxSent, l.RtxDelivered, l.RtxLost, l.RtxOverflows, l.RtxAQMDrops, l.RtxStaleDrops, l.RtxQueued(), l.RtxInFlight(), got)
+	}
 }
 
 // faultSchedules are the scripted outage shapes the conservation test sweeps.
@@ -61,6 +65,9 @@ func TestConservationUnderFaults(t *testing.T) {
 					if at%(50*time.Millisecond) == 0 {
 						l.SendControl(nil, 80)
 					}
+					if at%(9*time.Millisecond) == 0 {
+						l.SendRTX(nil, 1200)
+					}
 				})
 			}
 			// Terminate mid-run — possibly mid-outage — and check the books.
@@ -76,8 +83,8 @@ func TestConservationUnderFaults(t *testing.T) {
 			if name != "unfinished" {
 				s.Run()
 				checkConservation(t, l, label+"/drained")
-				if qm, qc := l.QueuedPackets(); qm != 0 || qc != 0 {
-					t.Errorf("%s: queue not drained: media=%d ctrl=%d", label, qm, qc)
+				if qm, qc := l.QueuedPackets(); qm != 0 || qc != 0 || l.RtxQueued() != 0 {
+					t.Errorf("%s: queue not drained: media=%d ctrl=%d rtx=%d", label, qm, qc, l.RtxQueued())
 				}
 			}
 		}
@@ -163,6 +170,54 @@ func TestMonotonicDelivery(t *testing.T) {
 			t.Fatalf("delivery reordered: %d after %d", order[i], order[i-1])
 		}
 	}
+}
+
+// TestRTXStaleFlushAndOrdering: retransmissions queued when an outage opens
+// follow the same re-establishment policy as media — flushed when stale,
+// and never delivered out of order with the media stream around them (the
+// bearer's monotonic clamp spans all classes).
+func TestRTXStaleFlushAndOrdering(t *testing.T) {
+	s := sim.New(9)
+	p := cleanProfile()
+	p.JitterSigma = 20 * time.Millisecond
+	l := New(s, p, nil, nil, s.Stream("link"))
+	var arrivals []time.Duration
+	l.Deliver = func(meta any, size int, sentAt, at time.Duration) {
+		arrivals = append(arrivals, at)
+	}
+	l.SetFaults(fault.NewLine([]fault.Window{
+		{Start: 100 * time.Millisecond, Duration: 2 * time.Second, Dir: fault.Both},
+	}, fault.Uplink), true, 600*time.Millisecond)
+	// RTX and media interleaved into the blackout: everything queued before
+	// ≈1.5 s is older than 600 ms at the 2.1 s resume and must flush.
+	for i := 0; i < 20; i++ {
+		at := 150*time.Millisecond + time.Duration(i)*10*time.Millisecond
+		s.At(at, func() {
+			l.Send(nil, 1200)
+			l.SendRTX(nil, 1200)
+		})
+	}
+	// Fresh traffic near the end of the window survives the flush.
+	for i := 0; i < 10; i++ {
+		at := 1900*time.Millisecond + time.Duration(i)*10*time.Millisecond
+		s.At(at, func() {
+			l.Send(nil, 1200)
+			l.SendRTX(nil, 1200)
+		})
+	}
+	s.Run()
+	if l.RtxStaleDrops != 20 || l.StaleDrops != 20 {
+		t.Errorf("stale flush: rtx=%d media=%d, want 20/20", l.RtxStaleDrops, l.StaleDrops)
+	}
+	if l.RtxDelivered != 10 || l.Delivered != 10 {
+		t.Errorf("survivors: rtx=%d media=%d, want 10/10", l.RtxDelivered, l.Delivered)
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] < arrivals[i-1] {
+			t.Fatalf("arrival %d at %v precedes arrival %d at %v", i, arrivals[i], i-1, arrivals[i-1])
+		}
+	}
+	checkConservation(t, l, "rtx-outage")
 }
 
 // TestDirectionalOutage: an uplink-only window leaves a downlink-filtered

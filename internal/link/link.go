@@ -49,6 +49,31 @@ func (r DropReason) String() string {
 	}
 }
 
+// packetClass separates the three kinds of traffic sharing the bearer:
+// media, control (RTCP) and RTX (RFC 4588 retransmissions). RTX rides the
+// media bottleneck — it competes for the same buffer bytes and suffers the
+// same loss, AQM, stale-flush and in-order delivery — but is tallied in its
+// own counters so media-only statistics (the paper's §4.1 PER) stay clean.
+type packetClass uint8
+
+const (
+	classMedia packetClass = iota
+	classCtrl
+	classRTX
+)
+
+// flags returns the trace flag bits for the class.
+func (c packetClass) flags() uint8 {
+	switch c {
+	case classCtrl:
+		return obs.FlagCtrl
+	case classRTX:
+		return obs.FlagRTX
+	default:
+		return 0
+	}
+}
+
 // Link is one emulated direction of the access link.
 type Link struct {
 	sim  *sim.Simulator
@@ -113,6 +138,7 @@ type Link struct {
 	// In-flight packets: serialized, propagation delay pending.
 	inFlight     int
 	ctrlInFlight int
+	rtxInFlight  int
 
 	// Media counters. Only packets offered via Send count here, so PER and
 	// overflow statistics derived from them are media-only (the paper's
@@ -128,6 +154,16 @@ type Link struct {
 	CtrlSent      int
 	CtrlDelivered int
 	CtrlLost      int
+
+	// Retransmission counters for SendRTX traffic. RTX occupies media
+	// buffer space (it is media, re-sent) but is excluded from the media
+	// counters so PER and overflow statistics stay media-only.
+	RtxSent       int
+	RtxDelivered  int
+	RtxLost       int
+	RtxOverflows  int
+	RtxAQMDrops   int
+	RtxStaleDrops int
 
 	// ctrlQueueBytes tracks queued control bytes separately from the media
 	// queueBytes so control packets do not occupy media buffer space in
@@ -150,9 +186,11 @@ type queued struct {
 	meta   any
 	size   int
 	sentAt time.Duration
-	ctrl   bool
+	class  packetClass
 	id     int64
 }
+
+func (q queued) ctrl() bool { return q.class == classCtrl }
 
 // New returns a link on the given simulator. machine and state may be nil.
 func New(s *sim.Simulator, prof Profile, machine *cell.Machine, state func(time.Duration) flight.State, rng *rand.Rand) *Link {
@@ -230,8 +268,13 @@ func (l *Link) vehicleState(now time.Duration) flight.State {
 }
 
 // lose decides radio loss for one packet using the Gilbert burst model,
-// with extra loss above the profile's altitude threshold.
+// with extra loss above the profile's altitude threshold. A scripted loss
+// fade (fault.Window with Loss set) erases every packet deterministically,
+// without consuming the Gilbert stream's randomness.
 func (l *Link) lose(now time.Duration) bool {
+	if l.faults.Lossy(now) {
+		return true
+	}
 	if l.prof.PER <= 0 {
 		return false
 	}
@@ -257,7 +300,7 @@ func (l *Link) lose(now time.Duration) bool {
 }
 
 // Send puts one media packet onto the link at the current simulation time.
-func (l *Link) Send(meta any, size int) { l.send(meta, size, false) }
+func (l *Link) Send(meta any, size int) { l.send(meta, size, classMedia) }
 
 // SendControl puts one control-plane packet (e.g. an RTCP sender report
 // sharing the media bearer) onto the link. It traverses the same radio —
@@ -266,17 +309,25 @@ func (l *Link) Send(meta any, size int) { l.send(meta, size, false) }
 // overflow check: RTCP's share of the bearer is bounded (RFC 3550 §6.2
 // allots it 5% of session bandwidth; here it is one small report per
 // second), so it is never tail-dropped.
-func (l *Link) SendControl(meta any, size int) { l.send(meta, size, true) }
+func (l *Link) SendControl(meta any, size int) { l.send(meta, size, classCtrl) }
 
-func (l *Link) send(meta any, size int, ctrl bool) {
+// SendRTX puts one retransmitted media packet onto the link. RTX is media
+// for the bottleneck — it occupies media buffer bytes, competes in the
+// overflow admission and suffers AQM, stale flush and in-order delivery —
+// but is tallied in the Rtx* counters.
+func (l *Link) SendRTX(meta any, size int) { l.send(meta, size, classRTX) }
+
+func (l *Link) send(meta any, size int, class packetClass) {
 	now := l.sim.Now()
 	id := l.nextID
 	l.nextID++
-	var flags uint8
-	if ctrl {
-		flags = obs.FlagCtrl
+	flags := class.flags()
+	switch class {
+	case classCtrl:
 		l.CtrlSent++
-	} else {
+	case classRTX:
+		l.RtxSent++
+	default:
 		l.Sent++
 	}
 	if l.trace != nil {
@@ -286,28 +337,35 @@ func (l *Link) send(meta any, size int, ctrl bool) {
 		if l.trace != nil {
 			l.trace.Emit(obs.Event{T: now, Kind: obs.KindDrop, Dir: l.traceDir, Flags: flags, Seq: id, Aux: int64(DropLoss)})
 		}
-		if ctrl {
+		switch class {
+		case classCtrl:
 			l.CtrlLost++
-			return
-		}
-		l.Lost++
-		if l.OnDrop != nil {
-			l.OnDrop(meta, size, now, DropLoss)
+		case classRTX:
+			l.RtxLost++
+		default:
+			l.Lost++
+			if l.OnDrop != nil {
+				l.OnDrop(meta, size, now, DropLoss)
+			}
 		}
 		return
 	}
-	if !ctrl && l.queueBytes+size > l.prof.BufferBytes {
-		l.Overflows++
-		if l.trace != nil {
-			l.trace.Emit(obs.Event{T: now, Kind: obs.KindDrop, Dir: l.traceDir, Seq: id, Aux: int64(DropOverflow)})
+	if class != classCtrl && l.queueBytes+size > l.prof.BufferBytes {
+		if class == classRTX {
+			l.RtxOverflows++
+		} else {
+			l.Overflows++
 		}
-		if l.OnDrop != nil {
+		if l.trace != nil {
+			l.trace.Emit(obs.Event{T: now, Kind: obs.KindDrop, Dir: l.traceDir, Flags: flags, Seq: id, Aux: int64(DropOverflow)})
+		}
+		if class == classMedia && l.OnDrop != nil {
 			l.OnDrop(meta, size, now, DropOverflow)
 		}
 		return
 	}
-	l.queue = append(l.queue, queued{meta: meta, size: size, sentAt: now, ctrl: ctrl, id: id})
-	if ctrl {
+	l.queue = append(l.queue, queued{meta: meta, size: size, sentAt: now, class: class, id: id})
+	if class == classCtrl {
 		l.ctrlQueueBytes += size
 	} else {
 		l.queueBytes += size
@@ -322,21 +380,36 @@ func (l *Link) send(meta any, size int, ctrl bool) {
 func (l *Link) QueueBytes() int { return l.queueBytes + l.ctrlQueueBytes }
 
 // QueuedPackets returns the packets waiting in the bottleneck queue,
-// media and control planes separately.
+// media and control planes separately (RTX is reported by RtxQueued).
 func (l *Link) QueuedPackets() (media, ctrl int) {
 	for _, p := range l.queue {
-		if p.ctrl {
+		switch p.class {
+		case classCtrl:
 			ctrl++
-		} else {
+		case classMedia:
 			media++
 		}
 	}
 	return media, ctrl
 }
 
+// RtxQueued returns the retransmissions waiting in the bottleneck queue.
+func (l *Link) RtxQueued() int {
+	n := 0
+	for _, p := range l.queue {
+		if p.class == classRTX {
+			n++
+		}
+	}
+	return n
+}
+
 // InFlightPackets returns the packets that finished serialization but have
 // not yet been delivered (propagation delay pending), per plane.
 func (l *Link) InFlightPackets() (media, ctrl int) { return l.inFlight, l.ctrlInFlight }
+
+// RtxInFlight returns the retransmissions serialized but not yet delivered.
+func (l *Link) RtxInFlight() int { return l.rtxInFlight }
 
 // QueueDelay estimates the buffer drain time at the current effective
 // capacity, handover/degradation windows included. The capacity is floored
@@ -364,7 +437,7 @@ func (l *Link) dequeueHead() queued {
 	head := l.queue[0]
 	l.queue[0] = queued{}
 	l.queue = l.queue[1:]
-	if head.ctrl {
+	if head.ctrl() {
 		l.ctrlQueueBytes -= head.size
 	} else {
 		l.queueBytes -= head.size
@@ -520,15 +593,14 @@ func (l *Link) codel(now time.Duration) {
 		}
 		head := l.dequeueHead()
 		if l.trace != nil {
-			var flags uint8
-			if head.ctrl {
-				flags = obs.FlagCtrl
-			}
-			l.trace.Emit(obs.Event{T: now, Kind: obs.KindDrop, Dir: l.traceDir, Flags: flags, Seq: head.id, Aux: int64(DropAQM)})
+			l.trace.Emit(obs.Event{T: now, Kind: obs.KindDrop, Dir: l.traceDir, Flags: head.class.flags(), Seq: head.id, Aux: int64(DropAQM)})
 		}
-		if head.ctrl {
+		switch head.class {
+		case classCtrl:
 			l.CtrlLost++
-		} else {
+		case classRTX:
+			l.RtxAQMDrops++
+		default:
 			l.AQMDrops++
 			if l.OnDrop != nil {
 				l.OnDrop(head.meta, head.size, head.sentAt, DropAQM)
@@ -570,16 +642,18 @@ func (l *Link) dropStaleQueue(now time.Duration) {
 	for _, pkt := range l.queue {
 		if now-pkt.sentAt > l.staleAfter {
 			if l.trace != nil {
-				var flags uint8
-				if pkt.ctrl {
-					flags = obs.FlagCtrl
-				}
-				l.trace.Emit(obs.Event{T: now, Kind: obs.KindDrop, Dir: l.traceDir, Flags: flags, Seq: pkt.id, Aux: int64(DropStale)})
+				l.trace.Emit(obs.Event{T: now, Kind: obs.KindDrop, Dir: l.traceDir, Flags: pkt.class.flags(), Seq: pkt.id, Aux: int64(DropStale)})
 			}
-			if pkt.ctrl {
+			switch pkt.class {
+			case classCtrl:
 				l.ctrlQueueBytes -= pkt.size
 				l.CtrlLost++
-			} else {
+			case classRTX:
+				// An RTX that outlived the outage is as dead as stale
+				// media: same flush, own counter.
+				l.queueBytes -= pkt.size
+				l.RtxStaleDrops++
+			default:
 				l.queueBytes -= pkt.size
 				l.StaleDrops++
 				if l.OnDrop != nil {
@@ -610,26 +684,29 @@ func (l *Link) deliver(pkt queued) {
 		at = l.lastArrival
 	}
 	l.lastArrival = at
-	if pkt.ctrl {
+	switch pkt.class {
+	case classCtrl:
 		l.ctrlInFlight++
-	} else {
+	case classRTX:
+		l.rtxInFlight++
+	default:
 		l.inFlight++
 	}
 	l.sim.At(at, func() {
-		if pkt.ctrl {
+		switch pkt.class {
+		case classCtrl:
 			l.ctrlInFlight--
 			l.CtrlDelivered++
-		} else {
+		case classRTX:
+			l.rtxInFlight--
+			l.RtxDelivered++
+		default:
 			l.inFlight--
 			l.Delivered++
 		}
 		now := l.sim.Now()
 		if l.trace != nil {
-			var flags uint8
-			if pkt.ctrl {
-				flags = obs.FlagCtrl
-			}
-			l.trace.Emit(obs.Event{T: now, Kind: obs.KindRecv, Dir: l.traceDir, Flags: flags,
+			l.trace.Emit(obs.Event{T: now, Kind: obs.KindRecv, Dir: l.traceDir, Flags: pkt.class.flags(),
 				Seq: pkt.id, Aux: int64(pkt.size), V: float64(now-pkt.sentAt) / float64(time.Millisecond)})
 		}
 		l.Deliver(pkt.meta, pkt.size, pkt.sentAt, now)

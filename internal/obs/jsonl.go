@@ -59,8 +59,8 @@ func WriteJSONL(w io.Writer, meta RunMeta, events []Event) error {
 }
 
 // appendEventJSON renders one event line. Key order is fixed: t_us, kind,
-// dir (omitted for DirNone), ctrl (omitted unless set), seq, aux, v
-// (omitted when zero).
+// dir (omitted for DirNone), ctrl (omitted unless set), rtx (omitted
+// unless set), seq, aux, v (omitted when zero).
 func appendEventJSON(buf []byte, ev *Event) []byte {
 	buf = append(buf, `{"t_us":`...)
 	buf = strconv.AppendInt(buf, ev.T.Microseconds(), 10)
@@ -74,6 +74,9 @@ func appendEventJSON(buf []byte, ev *Event) []byte {
 	}
 	if ev.Flags&FlagCtrl != 0 {
 		buf = append(buf, `,"ctrl":true`...)
+	}
+	if ev.Flags&FlagRTX != 0 {
+		buf = append(buf, `,"rtx":true`...)
 	}
 	buf = append(buf, `,"seq":`...)
 	buf = strconv.AppendInt(buf, ev.Seq, 10)

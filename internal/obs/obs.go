@@ -54,6 +54,23 @@ const (
 	// KindStall is a playback interruption, emitted when playback
 	// resumes. Aux: gap length in microseconds.
 	KindStall
+	// KindNack is a Generic NACK feedback message leaving the receiver.
+	// Seq: first sequence number requested; Aux: sequence count.
+	KindNack
+	// KindRTX is a retransmission leaving the sender in answer to a NACK.
+	// Seq: original media sequence number; Aux: wire size in bytes.
+	KindRTX
+	// KindRepairOK is a missing packet healed at the receiver. Seq: media
+	// sequence number; Aux: 1 if healed by an RTX, 0 by the late original;
+	// V: loss-to-heal delay in milliseconds.
+	KindRepairOK
+	// KindRepairAbandoned is a missing packet the repair layer gave up on
+	// (retry cap reached or pending bound hit); recovery falls back to the
+	// player's keyframe-request path. Seq: media sequence number; Aux:
+	// NACKs spent on it. The detector's outage guard emits one summary
+	// event per dead span instead: Seq is the first missing sequence
+	// number and Aux the span length.
+	KindRepairAbandoned
 )
 
 // String implements fmt.Stringer; the strings are the JSONL kind values.
@@ -81,6 +98,14 @@ func (k Kind) String() string {
 		return "frame-skip"
 	case KindStall:
 		return "stall"
+	case KindNack:
+		return "nack-sent"
+	case KindRTX:
+		return "rtx-sent"
+	case KindRepairOK:
+		return "repair-ok"
+	case KindRepairAbandoned:
+		return "repair-abandoned"
 	default:
 		return "unknown"
 	}
@@ -121,6 +146,9 @@ const (
 	// FlagCtrl marks control-plane packets (RTCP sharing the media
 	// bearer) on send/recv/drop events.
 	FlagCtrl uint8 = 1 << iota
+	// FlagRTX marks retransmitted media packets (the RFC 4588 repair
+	// stream sharing the media bottleneck) on send/recv/drop events.
+	FlagRTX
 )
 
 // Event is one typed trace record. It is a flat value type — no pointers,

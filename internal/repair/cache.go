@@ -1,0 +1,100 @@
+package repair
+
+import (
+	"time"
+
+	"rpivideo/internal/rtp"
+)
+
+type cacheEntry struct {
+	pkt      *rtp.Packet
+	size     int
+	storedAt time.Duration
+	resends  int
+}
+
+type fifoRef struct {
+	seq      uint16
+	storedAt time.Duration
+}
+
+// Cache is the sender-side retransmission store, bounded by total bytes
+// and by entry age. Sequence numbers wrap every 65536 packets; the age
+// bound keeps the live window far below that, and eviction double-checks
+// the store timestamp so a reused number can never evict its successor.
+type Cache struct {
+	cfg     Config
+	entries map[uint16]*cacheEntry
+	fifo    []fifoRef
+	head    int
+	bytes   int
+
+	// Stored and Evicted count packets in and out; Misses counts lookups
+	// that found nothing fresh enough to resend.
+	Stored  int
+	Evicted int
+	Misses  int
+}
+
+// NewCache returns an empty cache; cfg should have passed WithDefaults.
+func NewCache(cfg Config) *Cache {
+	return &Cache{cfg: cfg, entries: make(map[uint16]*cacheEntry)}
+}
+
+// Bytes returns the bytes currently held.
+func (c *Cache) Bytes() int { return c.bytes }
+
+// Len returns the number of packets currently held.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Store remembers a just-sent media packet for possible retransmission and
+// evicts whatever the byte and age bounds no longer cover.
+func (c *Cache) Store(pkt *rtp.Packet, now time.Duration) {
+	seq := pkt.Header.SequenceNumber
+	if old, ok := c.entries[seq]; ok {
+		// Sequence number reuse (wrap): the old entry is long stale.
+		c.bytes -= old.size
+		c.Evicted++
+	}
+	size := pkt.MarshalSize()
+	c.entries[seq] = &cacheEntry{pkt: pkt, size: size, storedAt: now}
+	c.fifo = append(c.fifo, fifoRef{seq: seq, storedAt: now})
+	c.bytes += size
+	c.Stored++
+	c.evict(now)
+}
+
+// Lookup returns the cached packet for a NACKed sequence number, or nil if
+// it was never stored, already evicted, aged out, or resent to the retry
+// cap. A hit counts one resend against the entry.
+func (c *Cache) Lookup(seq uint16, now time.Duration) *rtp.Packet {
+	e, ok := c.entries[seq]
+	if !ok || now-e.storedAt > c.cfg.CacheAge || e.resends >= c.cfg.MaxRetries {
+		c.Misses++
+		return nil
+	}
+	e.resends++
+	return e.pkt
+}
+
+func (c *Cache) evict(now time.Duration) {
+	for c.head < len(c.fifo) {
+		ref := c.fifo[c.head]
+		e, ok := c.entries[ref.seq]
+		if !ok || e.storedAt != ref.storedAt {
+			c.head++ // entry already replaced or gone; ref is a husk
+			continue
+		}
+		if c.bytes <= c.cfg.CacheBytes && now-e.storedAt <= c.cfg.CacheAge {
+			break
+		}
+		c.bytes -= e.size
+		delete(c.entries, ref.seq)
+		c.Evicted++
+		c.head++
+	}
+	if c.head > len(c.fifo)/2 && c.head > 64 {
+		c.fifo = append([]fifoRef(nil), c.fifo[c.head:]...)
+		c.head = 0
+	}
+}

@@ -120,6 +120,79 @@ func FuzzCCFBUnmarshal(f *testing.F) {
 	})
 }
 
+// FuzzNACKUnmarshal feeds arbitrary bytes to the RFC 4585 Generic NACK
+// parser: no panics, and accepted packets must roundtrip.
+func FuzzNACKUnmarshal(f *testing.F) {
+	one := &NACK{SenderSSRC: 1, MediaSSRC: 0x1234, Pairs: NackPairs([]uint16{7})}
+	if buf, err := one.Marshal(); err == nil {
+		fuzzSeed(f, buf)
+	}
+	many := &NACK{SenderSSRC: 0xABCD, MediaSSRC: 2,
+		Pairs: NackPairs([]uint16{100, 101, 105, 116, 400, 65535, 0})}
+	if buf, err := many.Marshal(); err == nil {
+		fuzzSeed(f, buf)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var n NACK
+		if err := n.Unmarshal(data); err != nil {
+			return
+		}
+		out, err := n.Marshal()
+		if err != nil {
+			t.Fatalf("accepted NACK fails to marshal: %v", err)
+		}
+		var n2 NACK
+		if err := n2.Unmarshal(out); err != nil {
+			t.Fatalf("re-marshaled NACK rejected: %v", err)
+		}
+		if n2.SenderSSRC != n.SenderSSRC || n2.MediaSSRC != n.MediaSSRC ||
+			len(n2.Pairs) != len(n.Pairs) {
+			t.Fatalf("roundtrip changed shape: %+v vs %+v", n2, n)
+		}
+		for i := range n.Pairs {
+			if n.Pairs[i] != n2.Pairs[i] {
+				t.Fatalf("roundtrip changed pair %d", i)
+			}
+		}
+	})
+}
+
+// FuzzRTXUnwrap feeds arbitrary bytes through the RTP parser into the
+// RFC 4588 unwrapper: no panics, and whatever unwraps must rewrap to the
+// same original sequence number and payload.
+func FuzzRTXUnwrap(f *testing.F) {
+	pk := NewPacketizer(0x1234, 96, 1200)
+	for _, p := range pk.Packetize(FrameInfo{Num: 3, Size: 2600, Keyframe: true}) {
+		rtx := WrapRTX(p, 0x5243, 97, 11)
+		if buf, err := rtx.Marshal(); err == nil {
+			fuzzSeed(f, buf)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Packet
+		if err := p.Unmarshal(data); err != nil {
+			return
+		}
+		orig, osn, err := UnwrapRTX(&p, 0x1234, 96)
+		if err != nil {
+			return
+		}
+		if orig.Header.SequenceNumber != osn {
+			t.Fatalf("unwrapped seq %d != osn %d", orig.Header.SequenceNumber, osn)
+		}
+		re := WrapRTX(orig, p.Header.SSRC, p.Header.PayloadType, p.Header.SequenceNumber)
+		back, osn2, err := UnwrapRTX(re, 0x1234, 96)
+		if err != nil {
+			t.Fatalf("rewrap not unwrappable: %v", err)
+		}
+		if osn2 != osn || string(back.Payload) != string(orig.Payload) {
+			t.Fatal("wrap/unwrap changed osn or payload")
+		}
+	})
+}
+
 // FuzzRTCPReports feeds arbitrary bytes to the SR and RR parsers.
 func FuzzRTCPReports(f *testing.F) {
 	sr := &SenderReport{SSRC: 0x1234, NTPTime: 90 * time.Second, RTPTime: 81000,

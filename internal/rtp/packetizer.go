@@ -147,6 +147,13 @@ type FrameState struct {
 	// FirstArrival and LastArrival bracket the packet arrivals seen so far.
 	FirstArrival time.Duration
 	LastArrival  time.Duration
+	// Repaired marks a frame at least one of whose packets arrived via
+	// retransmission (set by the player when it ingests an RTX repair).
+	Repaired bool
+
+	// got tracks which packet indices have arrived, so retransmissions
+	// answering a spurious NACK cannot double-count toward Complete.
+	got map[uint16]bool
 }
 
 // Complete reports whether every packet of the frame has arrived.
@@ -176,9 +183,14 @@ func NewDepacketizer() *Depacketizer {
 	return &Depacketizer{frames: make(map[uint32]*FrameState)}
 }
 
+// ErrDuplicate reports a packet whose (frame, index) slot has already been
+// filled — a retransmission answering a spurious NACK, or a repair racing
+// the late original. Duplicates are counted nowhere.
+var ErrDuplicate = errors.New("rtp: duplicate packet within frame")
+
 // Push records an arrived media packet and returns the (possibly updated)
-// state of its frame. Duplicate (frame, index) detection is out of scope:
-// the emulated link does not duplicate packets.
+// state of its frame. A packet whose (frame, index) slot is already filled
+// returns ErrDuplicate and changes nothing.
 func (d *Depacketizer) Push(pkt *Packet, at time.Duration) (*FrameState, error) {
 	meta, err := ParsePacketMeta(pkt.Payload)
 	if err != nil {
@@ -192,9 +204,14 @@ func (d *Depacketizer) Push(pkt *Packet, at time.Duration) (*FrameState, error) 
 			Keyframe:     meta.Keyframe,
 			Total:        int(meta.Total),
 			FirstArrival: at,
+			got:          make(map[uint16]bool),
 		}
 		d.frames[meta.FrameNum] = fs
 	}
+	if fs.got[meta.Index] {
+		return fs, ErrDuplicate
+	}
+	fs.got[meta.Index] = true
 	fs.Received++
 	fs.Bytes += pkt.MarshalSize()
 	if at > fs.LastArrival {

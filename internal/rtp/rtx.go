@@ -1,0 +1,52 @@
+package rtp
+
+import "encoding/binary"
+
+// RTXOverhead is the extra wire cost of retransmitting a packet per
+// RFC 4588: the two-byte original sequence number (OSN) prepended to the
+// payload. (The RTX stream carries no header extensions, which roughly
+// offsets the transport-seq extension of the original.)
+const RTXOverhead = 2
+
+// WrapRTX builds the RFC 4588 retransmission of a media packet: a packet on
+// the RTX stream (own SSRC, payload type and sequence space) whose payload
+// is the original sequence number followed by the original payload bytes.
+// Virtual payload bytes carry over so the wire size stays faithful.
+func WrapRTX(orig *Packet, ssrc uint32, payloadType uint8, seq uint16) *Packet {
+	payload := make([]byte, 2+len(orig.Payload))
+	binary.BigEndian.PutUint16(payload, orig.Header.SequenceNumber)
+	copy(payload[2:], orig.Payload)
+	return &Packet{
+		Header: Header{
+			Marker:         orig.Header.Marker,
+			PayloadType:    payloadType,
+			SequenceNumber: seq,
+			Timestamp:      orig.Header.Timestamp,
+			SSRC:           ssrc,
+		},
+		Payload:           payload,
+		VirtualPayloadLen: orig.VirtualPayloadLen,
+	}
+}
+
+// UnwrapRTX recovers the original media packet from an RTX packet: the OSN
+// becomes the sequence number and the remaining payload bytes the media
+// payload, restored onto the media stream identity. It returns the OSN so
+// the repair layer can match the retransmission to its loss record.
+func UnwrapRTX(rtx *Packet, mediaSSRC uint32, mediaPayloadType uint8) (*Packet, uint16, error) {
+	if len(rtx.Payload) < 2 {
+		return nil, 0, ErrShortPacket
+	}
+	osn := binary.BigEndian.Uint16(rtx.Payload)
+	return &Packet{
+		Header: Header{
+			Marker:         rtx.Header.Marker,
+			PayloadType:    mediaPayloadType,
+			SequenceNumber: osn,
+			Timestamp:      rtx.Header.Timestamp,
+			SSRC:           mediaSSRC,
+		},
+		Payload:           append([]byte(nil), rtx.Payload[2:]...),
+		VirtualPayloadLen: rtx.VirtualPayloadLen,
+	}, osn, nil
+}

@@ -136,6 +136,10 @@ type Controller struct {
 	// wd is the feedback-starvation watchdog; nil when disabled.
 	wd *cc.Watchdog
 
+	// repairSpend, when set, reports the repair layer's recent RTX rate
+	// (bits/s), subtracted from the encoder target.
+	repairSpend func(time.Duration) float64
+
 	// trace emits one obs.KindCC event per feedback-driven rate decision
 	// (nil = disabled; purely observational).
 	trace *obs.Tracer
@@ -144,6 +148,7 @@ type Controller struct {
 var _ cc.Controller = (*Controller)(nil)
 var _ cc.QueueAware = (*Controller)(nil)
 var _ cc.Traceable = (*Controller)(nil)
+var _ cc.RepairAware = (*Controller)(nil)
 
 // SetTracer implements cc.Traceable.
 func (c *Controller) SetTracer(tr *obs.Tracer) { c.trace = tr }
@@ -178,13 +183,18 @@ func (c *Controller) Name() string { return "scream" }
 func (c *Controller) SetQueue(q *cc.SendQueue) { c.queue = q }
 
 // TargetBitrate implements cc.Controller. A starved feedback path (link
-// outage) freezes the target at the floor until feedback returns.
+// outage) freezes the target at the floor until feedback returns. Repair
+// spend is subtracted (floored at MinRate): the RTX stream is invisible to
+// the in-flight window, so the encoder budget is where it is accounted.
 func (c *Controller) TargetBitrate(now time.Duration) float64 {
 	if c.wd.Starved(now) {
 		return c.cfg.MinRate
 	}
-	return c.target
+	return cc.RepairAdjust(c.target, c.repairSpend, now, c.cfg.MinRate)
 }
+
+// SetRepairSpend implements cc.RepairAware.
+func (c *Controller) SetRepairSpend(f func(time.Duration) float64) { c.repairSpend = f }
 
 // PacingRate implements cc.Controller: the window per RTT, with headroom,
 // but never slower than the target (so a freshly grown queue can drain) and

@@ -89,6 +89,9 @@ type PlayedFrame struct {
 	SSIM float64
 	// Skipped marks frames that were never decoded.
 	Skipped bool
+	// Repaired marks frames at least one of whose packets arrived as a
+	// retransmission — played (or concealed) instead of lost.
+	Repaired bool
 }
 
 // Stall is one playback interruption longer than the stall threshold.
@@ -132,6 +135,14 @@ type Player struct {
 	fpsBins   map[int]int
 	arrivals  int
 	bytesRecv int
+	// PacketsRepaired counts retransmitted packets ingested into frames;
+	// FramesRepaired counts played frames that needed at least one.
+	PacketsRepaired int
+	FramesRepaired  int
+	// lastArrivalAt timestamps the most recent media ingest, so the PLI
+	// rate limiter can tell a live stream from one resuming after a
+	// blackout.
+	lastArrivalAt time.Duration
 
 	// rateWindow tracks received bytes over the trailing seconds for the
 	// latch quirk's rate estimate.
@@ -181,9 +192,32 @@ func (p *Player) PacketsReceived() int { return p.arrivals }
 
 // OnPacket ingests one media packet from the downstream of the link.
 func (p *Player) OnPacket(pkt *rtp.Packet, at time.Duration) {
+	p.ingest(pkt, at, false)
+}
+
+// OnRepairedPacket ingests a media packet recovered by the repair layer
+// (an unwrapped RTX). The frame it lands in is marked repaired, so skip
+// and stall accounting can distinguish "repaired" from "lost".
+func (p *Player) OnRepairedPacket(pkt *rtp.Packet, at time.Duration) {
+	p.ingest(pkt, at, true)
+}
+
+func (p *Player) ingest(pkt *rtp.Packet, at time.Duration, repaired bool) {
 	fs, err := p.depkt.Push(pkt, at)
 	if err != nil {
-		return // not a media packet
+		return // not a media packet, or a duplicate slot
+	}
+	if p.cfg.KeyframeRecovery && p.haveKFRequest && at-p.lastArrivalAt > p.kfInterval() {
+		// The stream is resuming after a dead span longer than the limiter
+		// window. Any request issued into that blackout was flushed with
+		// the downlink backlog, so a stale limiter must not delay the
+		// first post-recovery keyframe request.
+		p.haveKFRequest = false
+	}
+	p.lastArrivalAt = at
+	if repaired {
+		fs.Repaired = true
+		p.PacketsRepaired++
 	}
 	p.arrivals++
 	p.bytesRecv += pkt.MarshalSize()
@@ -318,6 +352,10 @@ func (p *Player) play(now time.Duration, fs *rtp.FrameState) {
 		PlayedAt: now,
 		Latency:  now - fs.EncodeTime,
 		SSIM:     score,
+		Repaired: fs.Repaired,
+	}
+	if fs.Repaired {
+		p.FramesRepaired++
 	}
 	p.record(pf, now)
 	p.depkt.Delete(fs.Num)
@@ -343,17 +381,21 @@ func (p *Player) skip(now time.Duration, _ string) {
 	p.nextPlay++
 }
 
+// kfInterval returns the keyframe-request rate-limit interval.
+func (p *Player) kfInterval() time.Duration {
+	if p.cfg.KeyframeRequestInterval > 0 {
+		return p.cfg.KeyframeRequestInterval
+	}
+	return 500 * time.Millisecond
+}
+
 // maybeRequestKeyframe fires the KeyframeRequest hook, rate-limited so a
 // burst of skips (one outage) yields one request per interval.
 func (p *Player) maybeRequestKeyframe(now time.Duration) {
 	if p.KeyframeRequest == nil {
 		return
 	}
-	iv := p.cfg.KeyframeRequestInterval
-	if iv == 0 {
-		iv = 500 * time.Millisecond
-	}
-	if p.haveKFRequest && now-p.lastKFRequest < iv {
+	if p.haveKFRequest && now-p.lastKFRequest < p.kfInterval() {
 		return
 	}
 	p.haveKFRequest = true

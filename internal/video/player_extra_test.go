@@ -154,3 +154,95 @@ func TestSenderFrameEncodingRegistry(t *testing.T) {
 		t.Error("unknown frame reported as known")
 	}
 }
+
+// TestOnRepairedPacketAccounting: a frame completed by a retransmission
+// plays instead of skipping, and the repaired/lost distinction shows up in
+// the player's books.
+func TestOnRepairedPacketAccounting(t *testing.T) {
+	s := sim.New(7)
+	pl := NewPlayer(s, DefaultPlayerConfig(), nil, nil)
+	pk := rtp.NewPacketizer(1, 96, 1200)
+	for num := uint32(0); num < 10; num++ {
+		num := num
+		at := time.Duration(num) * 33 * time.Millisecond
+		s.At(at, func() {
+			pkts := pk.Packetize(rtp.FrameInfo{Num: num, Size: 6000, EncodeTime: at})
+			for i, p := range pkts {
+				if num == 4 && i == 1 {
+					// Lost on the wire; the repair layer delivers it 60 ms
+					// later, well inside the jitter buffer.
+					p := p
+					s.After(60*time.Millisecond, func() { pl.OnRepairedPacket(p, s.Now()) })
+					// A duplicate repair (RTX racing a second NACK) must
+					// not double-count.
+					s.After(80*time.Millisecond, func() { pl.OnRepairedPacket(p, s.Now()) })
+					continue
+				}
+				pl.OnPacket(p, s.Now())
+			}
+		})
+	}
+	s.RunUntil(2 * time.Second)
+	if pl.PacketsRepaired != 1 {
+		t.Errorf("PacketsRepaired = %d, want 1", pl.PacketsRepaired)
+	}
+	if pl.FramesRepaired != 1 {
+		t.Errorf("FramesRepaired = %d, want 1", pl.FramesRepaired)
+	}
+	var frame4 *PlayedFrame
+	for i := range pl.Frames {
+		if pl.Frames[i].Num == 4 {
+			frame4 = &pl.Frames[i]
+		}
+	}
+	if frame4 == nil {
+		t.Fatal("frame 4 never decided")
+	}
+	if frame4.Skipped || !frame4.Repaired {
+		t.Errorf("frame 4 skipped=%v repaired=%v, want played and repaired", frame4.Skipped, frame4.Repaired)
+	}
+	if frame4.SSIM <= 0 {
+		t.Errorf("repaired frame scored %v", frame4.SSIM)
+	}
+}
+
+// TestKeyframeRequestLimiterResetsAfterBlackout: a PLI issued just before a
+// blackout was flushed with the dead downlink; when the stream resumes
+// after a silence longer than the limiter window, the first post-recovery
+// skip must request a keyframe immediately instead of serving out the
+// stale limiter.
+func TestKeyframeRequestLimiterResetsAfterBlackout(t *testing.T) {
+	s := sim.New(8)
+	cfg := DefaultPlayerConfig()
+	cfg.KeyframeRecovery = true // 500 ms request interval
+	pl := NewPlayer(s, cfg, nil, nil)
+	var requests []time.Duration
+	pl.KeyframeRequest = func() { requests = append(requests, s.Now()) }
+	pk := rtp.NewPacketizer(1, 96, 1200)
+	feed := func(num uint32, at time.Duration) {
+		s.At(at, func() {
+			for _, p := range pk.Packetize(rtp.FrameInfo{Num: num, Size: 6000, EncodeTime: at}) {
+				pl.OnPacket(p, s.Now())
+			}
+		})
+	}
+	feed(0, 0)
+	feed(1, 33*time.Millisecond)
+	feed(3, 66*time.Millisecond) // frame 2 lost → skip ≈216 ms → request #1
+	// Blackout: nothing arrives until 700 ms (gap > the 500 ms limiter
+	// window, but request #1 is still inside it).
+	feed(10, 700*time.Millisecond) // resume: frames 4..9 gone → gap skip
+	s.RunUntil(2 * time.Second)
+	if len(requests) < 2 {
+		t.Fatalf("requests = %v, want the pre-blackout one plus an immediate post-recovery one", requests)
+	}
+	if requests[0] > 300*time.Millisecond {
+		t.Fatalf("first request at %v, want ≈216 ms", requests[0])
+	}
+	// Without the staleness reset the limiter (armed at ≈216 ms) suppresses
+	// the ≈705 ms gap skip, deferring the request to the first played frame
+	// at ≈850 ms.
+	if requests[1] > 800*time.Millisecond {
+		t.Errorf("post-recovery request at %v, want immediately after the 700 ms resume", requests[1])
+	}
+}

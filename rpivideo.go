@@ -32,6 +32,7 @@ import (
 	"rpivideo/internal/core"
 	"rpivideo/internal/fault"
 	"rpivideo/internal/obs"
+	"rpivideo/internal/repair"
 )
 
 // Environment selects the measurement area of the campaign (§3.1).
@@ -112,9 +113,23 @@ type FaultWindow = fault.Window
 // FaultEpisode is one realized outage in Result.FaultEpisodes.
 type FaultEpisode = fault.Episode
 
-// ParseFaultSchedule parses a comma-separated outage schedule like
-// "45s+2s,90s+500ms/down" into scripted fault windows.
+// ParseFaultSchedule parses a comma-separated fault schedule like
+// "45s+2s,90s+500ms/down" into scripted fault windows: `start+duration`
+// is a coverage outage, `start~duration` a loss fade (service up, packets
+// erased in flight).
 func ParseFaultSchedule(spec string) ([]FaultWindow, error) { return fault.ParseSchedule(spec) }
+
+// RepairConfig arms the NACK/RTX packet-loss repair layer on a run via
+// Config.Repair: receiver-side loss detection with RTT-adaptive retries,
+// a bounded sender retransmission cache, and a repair budget accounted
+// against the congestion controller's target rate. The zero value
+// disables the layer; RepairConfig{Enabled: true} uses the calibrated
+// defaults. See internal/repair for field docs and DESIGN.md §7 for the
+// model.
+type RepairConfig = repair.Config
+
+// DefaultRepairConfig returns the calibrated repair parameters, enabled.
+func DefaultRepairConfig() RepairConfig { return repair.DefaultConfig() }
 
 // Tracer is the deterministic event recorder a run carries when
 // Config.Trace is set; Result.Trace holds it. See internal/obs for the
