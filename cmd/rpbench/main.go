@@ -14,20 +14,32 @@
 //
 //	rpbench -scenario urban-gcc -trace out.jsonl   # traced scenario run
 //	rpbench -scenario urban-gcc -metrics out.json  # campaign metrics
+//	rpbench -scenario urban-gcc -report out/       # analyzer report bundle
+//	rpbench -analyze out.jsonl -report out/        # same bundle from a trace file
 //	rpbench -pprof 127.0.0.1:6060 ...              # pprof + runtime metrics
 //
-// Trace and metrics exports are byte-identical at any -workers setting.
+// Trace, metrics and report exports are byte-identical at any -workers
+// setting, and a report built from a live run matches one replayed from its
+// JSONL trace byte for byte.
+//
+// Regression gate and campaign benchmarks:
+//
+//	rpbench -scenario urban-gcc -compare baseline.json  # exit 1 on drift
+//	rpbench -fig fig6 -benchout BENCH_campaign.json     # campaign perf stats
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"rpivideo/internal/core"
 	"rpivideo/internal/experiments"
 	"rpivideo/internal/obs"
+	"rpivideo/internal/obs/analyze"
 )
 
 var registry = []struct {
@@ -71,6 +83,11 @@ func main() {
 	scenario := flag.String("scenario", "", "run a named observability scenario instead of experiments")
 	tracePath := flag.String("trace", "", "write the scenario's event trace as JSONL to this file (requires -scenario)")
 	metricsPath := flag.String("metrics", "", "write the scenario's campaign metrics as JSON to this file (requires -scenario)")
+	reportDir := flag.String("report", "", "write an analyzer report bundle (series/epochs/outages CSV + summary.json) to this directory (requires -scenario or -analyze)")
+	analyzePath := flag.String("analyze", "", "replay a JSONL trace file through the analyzer instead of simulating (use with -report)")
+	comparePath := flag.String("compare", "", "regression gate: diff the scenario's campaign metrics against this baseline registry JSON, exit 1 on drift (requires -scenario)")
+	tolerance := flag.Float64("tolerance", 0, "default relative drift tolerance for -compare (campaigns are deterministic, so 0 = exact is the expected gate)")
+	benchPath := flag.String("benchout", "", "write campaign benchmark stats (wall time, runs/s, aggregation memory) as JSON to this file after the experiments run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/runtime-metrics on this address while running")
 	flag.Parse()
 
@@ -94,19 +111,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rpbench: pprof on http://%s/debug/pprof/\n", addr)
 	}
 
-	if *scenario != "" {
-		if err := runScenario(*scenario, *seed, *workers, *tracePath, *metricsPath); err != nil {
+	if *analyzePath != "" {
+		if *reportDir == "" {
+			fmt.Fprintln(os.Stderr, "rpbench: -analyze needs -report <dir> for the bundle")
+			os.Exit(2)
+		}
+		if err := replayTrace(*analyzePath, *reportDir); err != nil {
 			fmt.Fprintln(os.Stderr, "rpbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if *tracePath != "" || *metricsPath != "" {
-		fmt.Fprintln(os.Stderr, "rpbench: -trace/-metrics require -scenario (use -list for scenario IDs)")
+
+	if *scenario != "" {
+		exports := scenarioExports{
+			trace: *tracePath, metrics: *metricsPath, report: *reportDir,
+			compare: *comparePath, tolerance: *tolerance,
+		}
+		drifted, err := runScenario(*scenario, *seed, *workers, exports)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpbench:", err)
+			os.Exit(1)
+		}
+		if drifted {
+			os.Exit(1)
+		}
+		return
+	}
+	if *tracePath != "" || *metricsPath != "" || *reportDir != "" || *comparePath != "" {
+		fmt.Fprintln(os.Stderr, "rpbench: -trace/-metrics/-report/-compare require -scenario (use -list for scenario IDs)")
 		os.Exit(2)
 	}
 
 	o := experiments.Options{Runs: *runs, Seed: *seed, Workers: *workers, FaultSpec: *faults}
+	core.ResetStats()
+	benchStart := time.Now()
 	failed := 0
 	ran := 0
 	for _, e := range registry {
@@ -128,47 +167,155 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rpbench: unknown experiment %q (use -list)\n", *fig)
 		os.Exit(2)
 	}
+	if *benchPath != "" {
+		if err := writeBench(*benchPath, time.Since(benchStart)); err != nil {
+			fmt.Fprintln(os.Stderr, "rpbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rpbench: wrote benchmark stats %s\n", *benchPath)
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "rpbench: %d experiment(s) failed shape checks\n", failed)
 		os.Exit(1)
 	}
 }
 
+// scenarioExports collects the optional -scenario output paths.
+type scenarioExports struct {
+	trace     string
+	metrics   string
+	report    string
+	compare   string
+	tolerance float64
+}
+
 // runScenario executes one observability scenario and writes the requested
 // exports. seed == the default base seed (1) keeps the scenario's pinned
-// seed, so golden traces regenerate exactly.
-func runScenario(name string, seed int64, workers int, tracePath, metricsPath string) error {
+// seed, so golden traces regenerate exactly. drifted reports a -compare
+// gate failure (already printed); err covers everything else.
+func runScenario(name string, seed int64, workers int, exp scenarioExports) (drifted bool, err error) {
 	sc, err := experiments.ScenarioByName(name)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if seed == 1 {
 		seed = 0 // default flag value: keep the scenario's pinned seed
 	}
 	results, err := experiments.RunScenario(sc, seed, workers)
 	if err != nil {
-		return err
+		return false, err
 	}
-	if tracePath != "" {
-		if err := writeFileWith(tracePath, func(f *os.File) error {
+	if exp.trace != "" {
+		if err := writeFileWith(exp.trace, func(f *os.File) error {
 			return core.WriteCampaignTrace(f, results)
 		}); err != nil {
-			return err
+			return false, err
 		}
-		fmt.Fprintf(os.Stderr, "rpbench: wrote trace %s\n", tracePath)
+		fmt.Fprintf(os.Stderr, "rpbench: wrote trace %s\n", exp.trace)
 	}
-	if metricsPath != "" {
-		if err := writeFileWith(metricsPath, func(f *os.File) error {
+	if exp.metrics != "" {
+		if err := writeFileWith(exp.metrics, func(f *os.File) error {
 			return core.WriteCampaignMetrics(f, results)
 		}); err != nil {
-			return err
+			return false, err
 		}
-		fmt.Fprintf(os.Stderr, "rpbench: wrote metrics %s\n", metricsPath)
+		fmt.Fprintf(os.Stderr, "rpbench: wrote metrics %s\n", exp.metrics)
+	}
+	if exp.report != "" {
+		var analyses []*analyze.RunAnalysis
+		for i, r := range results {
+			analyses = append(analyses, analyze.Run(core.TraceRunMeta(r, i), r.Trace.Events()))
+		}
+		if err := analyze.WriteBundle(exp.report, analyses); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(os.Stderr, "rpbench: wrote report bundle %s\n", exp.report)
+	}
+	if exp.compare != "" {
+		drifts, err := compareBaseline(exp.compare, results, exp.tolerance)
+		if err != nil {
+			return false, err
+		}
+		for _, d := range drifts {
+			fmt.Fprintln(os.Stderr, "rpbench: drift:", d)
+		}
+		if len(drifts) > 0 {
+			fmt.Fprintf(os.Stderr, "rpbench: %d metric(s) drifted from %s\n", len(drifts), exp.compare)
+			drifted = true
+		} else {
+			fmt.Fprintf(os.Stderr, "rpbench: metrics match baseline %s\n", exp.compare)
+		}
 	}
 	merged := core.Merge(results)
 	fmt.Printf("scenario %s: %d runs, %d packets sent, %d delivered, %d frames played, %d skipped\n",
 		sc.Name, len(results), merged.PacketsSent, merged.PacketsDelivered, merged.FramesPlayed, merged.FramesSkipped)
+	return drifted, nil
+}
+
+// replayTrace runs the analyzer over a JSONL trace file and writes the
+// report bundle — the offline half of the live-vs-replay identity.
+func replayTrace(tracePath, reportDir string) error {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	runs, err := obs.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if err := analyze.WriteBundle(reportDir, analyze.Trace(runs)); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rpbench: analyzed %d run(s) from %s into %s\n", len(runs), tracePath, reportDir)
 	return nil
+}
+
+// compareBaseline reads a baseline registry export and diffs the campaign's
+// freshly merged registry against it.
+func compareBaseline(path string, results []*core.Result, tolerance float64) ([]obs.Drift, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	base, err := obs.ReadRegistryJSON(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	return obs.CompareRegistries(base, core.CampaignMetrics(results), obs.Tolerance{Default: tolerance}), nil
+}
+
+// benchStats is the BENCH_campaign.json payload: wall-clock and throughput
+// for the experiments that ran, plus the campaign-aggregation memory
+// high-water marks that the sketch-based summaries bound.
+type benchStats struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+	// HeapAllocBytes is the live heap at exit; TotalAllocBytes the
+	// cumulative allocation volume.
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	core.AggregationStats
+}
+
+func writeBench(path string, wall time.Duration) error {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	st := benchStats{
+		WallSeconds:      wall.Seconds(),
+		HeapAllocBytes:   m.HeapAlloc,
+		TotalAllocBytes:  m.TotalAlloc,
+		AggregationStats: core.Stats(),
+	}
+	if w := st.WallSeconds; w > 0 {
+		st.RunsPerSec = float64(st.RunsExecuted) / w
+	}
+	return writeFileWith(path, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&st)
+	})
 }
 
 // writeFileWith creates path and runs write against it, closing on the way

@@ -1,6 +1,12 @@
 // Command tracegen emits a synthetic flight trace in the repository's
-// JSON-lines format — the open-data workflow of the paper (§3.2): each line
-// is one packet, drop, handover, rate or stall event.
+// flight-trace/v1 JSON-lines format (trace.Schema) — the open-data workflow
+// of the paper (§3.2). The first line is a "meta" record (label, seed,
+// duration_us); every following line is one event record with a fixed kind:
+// "packet" (t_us, owd_us), "drop" (t_us), "handover" (t_us, from, to,
+// het_us), "target" and "goodput" (t_us, mbps), "stall" (t_us, gap_us).
+// Zero-valued fields are omitted. This is the dataset-release format, not
+// the richer internal event trace of `rpbench -trace`; both are tabulated
+// in DESIGN.md §6.
 //
 // Usage:
 //
@@ -26,6 +32,14 @@ func main() {
 	ground := flag.Bool("ground", false, "ground (motorbike) run instead of a flight")
 	summary := flag.Bool("summary", false, "print a summary instead of the trace")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of JSON lines")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage: tracegen [flags] > flight.jsonl\n\n")
+		fmt.Fprintf(out, "Emits a synthetic flight trace in the %s JSON-lines schema\n", trace.Schema)
+		fmt.Fprintf(out, "(see DESIGN.md §6): a meta record, then one record per event —\n")
+		fmt.Fprintf(out, "packet, drop, handover, target, goodput, stall.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	cfg := core.Config{Air: !*ground, Seed: *seed, KeepSeries: true}

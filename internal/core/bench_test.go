@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rpivideo/internal/cell"
+)
+
+// benchResults runs one short campaign once and hands the per-run results
+// to both aggregation paths, so the benchmarks measure folding, not
+// simulation.
+func benchResults(b *testing.B) []*Result {
+	b.Helper()
+	cfg := Config{Env: cell.Urban, Air: true, CC: CCGCC, Seed: 5, Duration: 20 * time.Second}
+	results, errs := RunCampaignWithOptions(cfg, 4, CampaignOptions{})
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return results
+}
+
+// BenchmarkAggregateSketch folds a campaign into the O(buckets) Summary —
+// the path rpbench's BENCH_campaign.json numbers come from.
+func BenchmarkAggregateSketch(b *testing.B) {
+	results := benchResults(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := Summarize(results)
+		b.SetBytes(int64(sum.RetainedBytes()))
+	}
+}
+
+// BenchmarkAggregateMerge folds the same campaign through the
+// sample-retaining Merge for comparison; its footprint grows with every
+// per-run sample where the sketch's stays fixed.
+func BenchmarkAggregateMerge(b *testing.B) {
+	results := benchResults(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := Merge(results)
+		b.SetBytes(8 * int64(len(m.OWDms.Samples())))
+	}
+}

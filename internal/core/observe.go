@@ -16,19 +16,26 @@ func WriteCampaignTrace(w io.Writer, results []*Result) error {
 		if r == nil || r.Trace == nil {
 			continue
 		}
-		meta := obs.RunMeta{
-			Label:    r.Config.Label(),
-			Run:      i,
-			Seed:     r.Config.Seed,
-			Duration: r.Duration,
-			Events:   r.Trace.Emitted(),
-			Dropped:  r.Trace.Dropped(),
-		}
-		if err := obs.WriteJSONL(w, meta, r.Trace.Events()); err != nil {
+		if err := obs.WriteJSONL(w, TraceRunMeta(r, i), r.Trace.Events()); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// TraceRunMeta builds the JSONL meta header for one traced run — the same
+// header WriteCampaignTrace emits, exposed so live trace consumers (the
+// analyzer in particular) see exactly the metadata an offline JSONL replay
+// would.
+func TraceRunMeta(r *Result, runIndex int) obs.RunMeta {
+	return obs.RunMeta{
+		Label:    r.Config.Label(),
+		Run:      runIndex,
+		Seed:     r.Config.Seed,
+		Duration: r.Duration,
+		Events:   r.Trace.Emitted(),
+		Dropped:  r.Trace.Dropped(),
+	}
 }
 
 // WriteCampaignMetrics merges the per-run registries in run-index order and

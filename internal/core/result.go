@@ -149,11 +149,10 @@ func (r *Result) GoodputMean() float64 { return r.Goodput.Mean() }
 // observeSorted folds a distribution's samples into a registry histogram in
 // ascending order. Sorting first makes the histogram's float Sum a pure
 // function of the sample multiset, so per-run registries are byte-identical
-// however the run was scheduled.
+// however the run was scheduled. Samples() hands back a fresh copy, so the
+// in-place sort is safe.
 func observeSorted(h *obs.Histogram, d *metrics.Dist) {
-	samples := d.Samples()
-	sorted := make([]float64, len(samples))
-	copy(sorted, samples)
+	sorted := d.Samples()
 	sort.Float64s(sorted)
 	for _, v := range sorted {
 		h.Observe(v)

@@ -27,6 +27,7 @@ const (
 
 // Run executes one measurement run and returns its aggregated result.
 func Run(cfg Config) *Result {
+	runsExecuted.Add(1)
 	s := sim.New(cfg.Seed)
 
 	// Mobility.

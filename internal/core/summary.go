@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rpivideo/internal/fault"
+	"rpivideo/internal/metrics"
+)
+
+// Summary is the campaign-level aggregate of many runs' Results, built on
+// metrics.Sketch instead of raw-sample concatenation: folding a run is
+// O(samples of that run), but the retained state is O(buckets) — the
+// footprint no longer grows with the run count, which is what lets a
+// million-run campaign aggregate in constant memory (ROADMAP north star).
+// Scalar counters sum, watermarks take the maximum, and the distributions
+// answer the same quantile/CDF/fraction queries a merged Dist did, within
+// metrics.SketchAlpha relative error (exactly, below the small-N cap).
+//
+// The zero value is ready to use; fold runs with AddResult in run-index
+// order (Summarize and RunCampaignSummary do) so float accumulation order
+// — and therefore every exported byte — is independent of scheduling.
+type Summary struct {
+	Config   Config // first folded run's config
+	Runs     int
+	Duration time.Duration
+
+	// Distribution aggregates, mirroring Result's Dist fields.
+	OWDms      metrics.Sketch
+	OWDByAlt   [altBuckets]metrics.Sketch
+	Goodput    metrics.Sketch
+	FPS        metrics.Sketch
+	PlaybackMs metrics.Sketch
+	SSIM       metrics.Sketch
+	RTTms      metrics.Sketch
+	RTTByAlt   [altBuckets]metrics.Sketch
+	JitterMs   metrics.Sketch
+	RTCPRTTms  metrics.Sketch
+	OutageMs   metrics.Sketch
+	RecoveryMs metrics.Sketch
+
+	// Packet accounting.
+	PER                                                   float64
+	PacketsSent, PacketsDelivered, PacketsLost, Overflows int
+	CtrlPacketsSent, CtrlPacketsDelivered                 int
+	CtrlPacketsLost                                       int
+
+	// Radio events (counts; per-event detail stays in the per-run Results).
+	Handovers        int
+	RLFs             int
+	HandoverFailures int
+
+	// Video.
+	Stalls        int
+	StallsPerMin  float64
+	FramesPlayed  int
+	FramesSkipped int
+
+	// Extensions.
+	MultipathDuplicates int
+	AQMDrops            int
+
+	// SCReAM internals.
+	ScreamLosses       int
+	ScreamLossesInBand int
+	ScreamLossesWindow int
+	ScreamDiscards     int
+
+	// Faults.
+	Outages           int
+	OutageTotal       time.Duration
+	StaleDrops        int
+	KeyframeRequests  int
+	PostOutageQueueMs float64
+	FaultEpisodes     []fault.Episode
+
+	// Repair.
+	NacksSent                                                   int
+	PacketsRepaired                                             int
+	FramesRepaired                                              int
+	RepairLate                                                  int
+	RepairAbandoned                                             int
+	RepairDenied                                                int
+	RepairCacheMisses                                           int
+	RtxBytes                                                    int
+	RepairBudgetAccrued                                         float64
+	RtxSent, RtxDelivered, RtxLost, RtxStaleDrops, RtxOverflows int
+
+	// samplesFolded counts the raw distribution samples folded in — the
+	// memory a Dist-based merge would have retained (×8 bytes).
+	samplesFolded int64
+}
+
+// AddResult folds one run into the summary. Call in run-index order for
+// byte-stable downstream output.
+func (s *Summary) AddResult(r *Result) {
+	if r == nil {
+		return
+	}
+	if s.Runs == 0 {
+		s.Config = r.Config
+	}
+	s.Runs++
+	s.Duration += r.Duration
+
+	fold := func(sk *metrics.Sketch, d *metrics.Dist) {
+		sk.AddDist(d)
+		s.samplesFolded += int64(d.N())
+	}
+	fold(&s.OWDms, &r.OWDms)
+	for b := range r.OWDByAlt {
+		fold(&s.OWDByAlt[b], &r.OWDByAlt[b])
+	}
+	fold(&s.Goodput, &r.Goodput)
+	fold(&s.FPS, &r.FPS)
+	fold(&s.PlaybackMs, &r.PlaybackMs)
+	fold(&s.SSIM, &r.SSIM)
+	fold(&s.RTTms, &r.RTTms)
+	for b := range r.RTTByAlt {
+		fold(&s.RTTByAlt[b], &r.RTTByAlt[b])
+	}
+	fold(&s.JitterMs, &r.JitterMs)
+	fold(&s.RTCPRTTms, &r.RTCPRTTms)
+	fold(&s.OutageMs, &r.OutageMs)
+	fold(&s.RecoveryMs, &r.RecoveryMs)
+
+	s.PacketsSent += r.PacketsSent
+	s.PacketsDelivered += r.PacketsDelivered
+	s.PacketsLost += r.PacketsLost
+	s.Overflows += r.Overflows
+	s.CtrlPacketsSent += r.CtrlPacketsSent
+	s.CtrlPacketsDelivered += r.CtrlPacketsDelivered
+	s.CtrlPacketsLost += r.CtrlPacketsLost
+	if s.PacketsSent > 0 {
+		s.PER = float64(s.PacketsLost) / float64(s.PacketsSent)
+	}
+
+	s.Handovers += len(r.Handovers)
+	s.RLFs += r.RLFs
+	s.HandoverFailures += r.HandoverFailures
+
+	s.Stalls += len(r.Stalls)
+	s.FramesPlayed += r.FramesPlayed
+	s.FramesSkipped += r.FramesSkipped
+	if s.Duration > 0 {
+		s.StallsPerMin = float64(s.Stalls) / s.Duration.Minutes()
+	}
+
+	s.MultipathDuplicates += r.MultipathDuplicates
+	s.AQMDrops += r.AQMDrops
+
+	s.ScreamLosses += r.ScreamLosses
+	s.ScreamLossesInBand += r.ScreamLossesInBand
+	s.ScreamLossesWindow += r.ScreamLossesWindow
+	s.ScreamDiscards += r.ScreamDiscards
+
+	s.Outages += r.Outages
+	s.OutageTotal += r.OutageTotal
+	s.StaleDrops += r.StaleDrops
+	s.KeyframeRequests += r.KeyframeRequests
+	if r.PostOutageQueueMs > s.PostOutageQueueMs {
+		s.PostOutageQueueMs = r.PostOutageQueueMs
+	}
+	s.FaultEpisodes = append(s.FaultEpisodes, r.FaultEpisodes...)
+
+	s.NacksSent += r.NacksSent
+	s.PacketsRepaired += r.PacketsRepaired
+	s.FramesRepaired += r.FramesRepaired
+	s.RepairLate += r.RepairLate
+	s.RepairAbandoned += r.RepairAbandoned
+	s.RepairDenied += r.RepairDenied
+	s.RepairCacheMisses += r.RepairCacheMisses
+	s.RtxBytes += r.RtxBytes
+	s.RepairBudgetAccrued += r.RepairBudgetAccrued
+	s.RtxSent += r.RtxSent
+	s.RtxDelivered += r.RtxDelivered
+	s.RtxLost += r.RtxLost
+	s.RtxStaleDrops += r.RtxStaleDrops
+	s.RtxOverflows += r.RtxOverflows
+
+	recordAggregation(s)
+}
+
+// GoodputMean returns the mean per-second goodput in Mbps.
+func (s *Summary) GoodputMean() float64 { return s.Goodput.Mean() }
+
+// HandoverRate returns handovers per second of aggregated flight time.
+func (s *Summary) HandoverRate() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Handovers) / s.Duration.Seconds()
+}
+
+// SamplesFolded returns how many raw distribution samples have been folded
+// into the summary — the count a Dist-based merge would retain.
+func (s *Summary) SamplesFolded() int64 { return s.samplesFolded }
+
+// RetainedBytes estimates the summary's distribution payload: the sum of
+// its sketches' retained bytes.
+func (s *Summary) RetainedBytes() int {
+	total := s.OWDms.RetainedBytes() + s.Goodput.RetainedBytes() +
+		s.FPS.RetainedBytes() + s.PlaybackMs.RetainedBytes() +
+		s.SSIM.RetainedBytes() + s.RTTms.RetainedBytes() +
+		s.JitterMs.RetainedBytes() + s.RTCPRTTms.RetainedBytes() +
+		s.OutageMs.RetainedBytes() + s.RecoveryMs.RetainedBytes()
+	for b := range s.OWDByAlt {
+		total += s.OWDByAlt[b].RetainedBytes() + s.RTTByAlt[b].RetainedBytes()
+	}
+	return total
+}
+
+// Summarize folds per-run results (in slice order, which campaign engines
+// produce in run-index order) into a Summary. Nil results — failed runs —
+// are skipped.
+func Summarize(results []*Result) *Summary {
+	s := &Summary{}
+	for _, r := range results {
+		s.AddResult(r)
+	}
+	return s
+}
+
+// RunCampaignSummary executes a campaign like RunCampaignWithOptions but
+// folds each run into a Summary as soon as its turn in run-index order
+// comes, discarding the per-run Result immediately: peak memory holds the
+// summary, the in-flight runs, and whatever completed out of order — not
+// the whole campaign. The fold order is the run index regardless of worker
+// count, so the summary (and anything exported from it) is byte-identical
+// at any parallelism. Per-run panics land in the error slice, indexed by
+// run, with that run simply missing from the aggregate.
+func RunCampaignSummary(cfg Config, runs int, opts CampaignOptions) (*Summary, []error) {
+	if runs <= 0 {
+		return &Summary{}, nil
+	}
+	sum := &Summary{}
+	errs := make([]error, runs)
+	start := time.Now()
+	var (
+		mu        sync.Mutex
+		pending   = make(map[int]*Result)
+		next      int
+		completed int
+		simSecs   float64
+	)
+	done := func(i int, r *Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		pending[i] = r // nil marks a failed run so index order can advance
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			sum.AddResult(r)
+			next++
+		}
+		completed++
+		if r != nil {
+			simSecs += r.Duration.Seconds()
+		}
+		if opts.Progress != nil {
+			p := CampaignProgress{Completed: completed, Total: runs, RunIndex: i, Err: errs[i], Wall: time.Since(start)}
+			if w := p.Wall.Seconds(); w > 0 {
+				p.SimRate = simSecs / w
+			}
+			opts.Progress(p)
+		}
+	}
+	runOne := func(i int) {
+		var res *Result
+		defer func() {
+			if rec := recover(); rec != nil {
+				errs[i] = fmt.Errorf("campaign run %d panicked: %v", i, rec)
+				res = nil
+			}
+			done(i, res)
+		}()
+		c := cfg
+		c.Seed = opts.runSeed(cfg.Seed, i)
+		res = Run(c)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	if workers == 1 {
+		for i := 0; i < runs; i++ {
+			runOne(i)
+		}
+		return sum, errs
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runOne(i)
+			}
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return sum, errs
+}
+
+// AggregationStats snapshots the process-wide campaign-aggregation
+// accounting: how many runs have executed, the largest single summary's
+// folded-sample count (what a Dist merge would have retained, ×8 bytes)
+// and its sketch footprint. rpbench surfaces these in BENCH_campaign.json.
+type AggregationStats struct {
+	RunsExecuted       int64 `json:"runs_executed"`
+	MaxCampaignSamples int64 `json:"max_campaign_samples"`
+	MaxSketchBytes     int64 `json:"max_sketch_bytes"`
+}
+
+var (
+	runsExecuted       atomic.Int64
+	maxCampaignSamples atomic.Int64
+	maxSketchBytes     atomic.Int64
+)
+
+// recordAggregation updates the process-wide watermarks after a fold.
+func recordAggregation(s *Summary) {
+	storeMax(&maxCampaignSamples, s.samplesFolded)
+	storeMax(&maxSketchBytes, int64(s.RetainedBytes()))
+}
+
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Stats returns the process-wide aggregation statistics.
+func Stats() AggregationStats {
+	return AggregationStats{
+		RunsExecuted:       runsExecuted.Load(),
+		MaxCampaignSamples: maxCampaignSamples.Load(),
+		MaxSketchBytes:     maxSketchBytes.Load(),
+	}
+}
+
+// ResetStats zeroes the process-wide aggregation statistics (benchmarks and
+// tests that want per-section numbers).
+func ResetStats() {
+	runsExecuted.Store(0)
+	maxCampaignSamples.Store(0)
+	maxSketchBytes.Store(0)
+}

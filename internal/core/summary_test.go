@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"rpivideo/internal/cell"
+	"rpivideo/internal/metrics"
+)
+
+// TestSummaryMatchesMerge: the sketch-based campaign aggregate must agree
+// with the sample-retaining Merge on every field the experiments consume —
+// counters exactly, distribution queries within the sketch's relative-error
+// guarantee.
+func TestSummaryMatchesMerge(t *testing.T) {
+	cfg := Config{Env: cell.Urban, Air: true, CC: CCGCC, Seed: 17, Duration: 25 * time.Second}
+	const runs = 4
+	results, errs := RunCampaignWithOptions(cfg, runs, CampaignOptions{})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := Merge(results)
+	sum := Summarize(results)
+
+	if sum.Runs != runs || sum.Duration != merged.Duration {
+		t.Fatalf("runs=%d dur=%v, want %d / %v", sum.Runs, sum.Duration, runs, merged.Duration)
+	}
+	// Counters must match exactly.
+	counters := []struct {
+		name      string
+		got, want int
+	}{
+		{"PacketsSent", sum.PacketsSent, merged.PacketsSent},
+		{"PacketsDelivered", sum.PacketsDelivered, merged.PacketsDelivered},
+		{"PacketsLost", sum.PacketsLost, merged.PacketsLost},
+		{"Overflows", sum.Overflows, merged.Overflows},
+		{"CtrlPacketsSent", sum.CtrlPacketsSent, merged.CtrlPacketsSent},
+		{"Handovers", sum.Handovers, len(merged.Handovers)},
+		{"Stalls", sum.Stalls, len(merged.Stalls)},
+		{"FramesPlayed", sum.FramesPlayed, merged.FramesPlayed},
+		{"FramesSkipped", sum.FramesSkipped, merged.FramesSkipped},
+		{"KeyframeRequests", sum.KeyframeRequests, merged.KeyframeRequests},
+		{"Outages", sum.Outages, merged.Outages},
+		{"NacksSent", sum.NacksSent, merged.NacksSent},
+		{"PacketsRepaired", sum.PacketsRepaired, merged.PacketsRepaired},
+	}
+	for _, c := range counters {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if sum.PER != merged.PER {
+		t.Errorf("PER = %v, want %v", sum.PER, merged.PER)
+	}
+	if sum.StallsPerMin != merged.StallsPerMin {
+		t.Errorf("StallsPerMin = %v, want %v", sum.StallsPerMin, merged.StallsPerMin)
+	}
+	if sum.HandoverRate() != merged.HandoverRate() {
+		t.Errorf("HandoverRate = %v, want %v", sum.HandoverRate(), merged.HandoverRate())
+	}
+
+	// Distribution queries within the sketch guarantee.
+	dists := []struct {
+		name string
+		sk   *metrics.Sketch
+		d    *metrics.Dist
+	}{
+		{"OWDms", &sum.OWDms, &merged.OWDms},
+		{"Goodput", &sum.Goodput, &merged.Goodput},
+		{"FPS", &sum.FPS, &merged.FPS},
+		{"PlaybackMs", &sum.PlaybackMs, &merged.PlaybackMs},
+		{"SSIM", &sum.SSIM, &merged.SSIM},
+		{"JitterMs", &sum.JitterMs, &merged.JitterMs},
+	}
+	for _, dc := range dists {
+		if dc.sk.N() != dc.d.N() {
+			t.Errorf("%s: N %d vs %d", dc.name, dc.sk.N(), dc.d.N())
+			continue
+		}
+		if dc.sk.Min() != dc.d.Min() || dc.sk.Max() != dc.d.Max() {
+			t.Errorf("%s: extremes [%g,%g] vs [%g,%g]", dc.name,
+				dc.sk.Min(), dc.sk.Max(), dc.d.Min(), dc.d.Max())
+		}
+		for _, q := range []float64{0.25, 0.5, 0.75, 0.95} {
+			sq, dq := dc.sk.Quantile(q), dc.d.Quantile(q)
+			// One bucket's relative error plus the gap Dist interpolation
+			// can straddle between adjacent order statistics.
+			tol := metrics.SketchAlpha*math.Abs(dq) + 1e-9
+			if gap := interpGap(dc.d, q); gap > tol {
+				tol = gap * (1 + metrics.SketchAlpha)
+			}
+			if math.Abs(sq-dq) > tol {
+				t.Errorf("%s q=%g: sketch %g vs dist %g (tol %g)", dc.name, q, sq, dq, tol)
+			}
+		}
+	}
+}
+
+// interpGap is the spread between the two order statistics Dist.Quantile
+// interpolates between at q.
+func interpGap(d *metrics.Dist, q float64) float64 {
+	n := d.N()
+	if n < 2 {
+		return 0
+	}
+	pos := q * float64(n-1)
+	lo, hi := int(math.Floor(pos)), int(math.Ceil(pos))
+	if lo == hi {
+		return 0
+	}
+	s := d.Samples()
+	// Samples() preserves insertion order; quantile ranks need sorted order.
+	// Sorting the copy is fine — it is ours.
+	sort.Float64s(s)
+	return math.Abs(s[hi] - s[lo])
+}
+
+// TestRunCampaignSummaryDeterministic: the streaming fold must equal the
+// batch fold, at any worker count, field for field — this is the byte-
+// stability contract the report bundles build on.
+func TestRunCampaignSummaryDeterministic(t *testing.T) {
+	cfg := Config{Env: cell.Urban, Air: true, CC: CCGCC, Seed: 21, Duration: 20 * time.Second}
+	const runs = 5
+
+	batchRes, berrs := RunCampaignWithOptions(cfg, runs, CampaignOptions{})
+	for _, err := range berrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := Summarize(batchRes)
+
+	serial, serrs := RunCampaignSummary(cfg, runs, CampaignOptions{Workers: 1})
+	par, perrs := RunCampaignSummary(cfg, runs, CampaignOptions{Workers: 4})
+	for i := 0; i < runs; i++ {
+		if serrs[i] != nil || perrs[i] != nil {
+			t.Fatalf("run %d errored: serial %v, parallel %v", i, serrs[i], perrs[i])
+		}
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Error("streaming summary differs between serial and parallel execution")
+	}
+	if !reflect.DeepEqual(serial, batch) {
+		t.Error("streaming summary differs from batch Summarize")
+	}
+}
+
+// TestRunCampaignSummaryPanic: a panicking run lands in its error slot and
+// is simply missing from the aggregate; the other runs still fold.
+func TestRunCampaignSummaryPanic(t *testing.T) {
+	// A negative SCReAM feedback interval makes sim.Every panic inside Run.
+	cfg := Config{Env: cell.Urban, CC: CCSCReAM, Seed: 1,
+		Duration: time.Second, ScreamFeedbackInterval: -time.Millisecond}
+	sum, errs := RunCampaignSummary(cfg, 3, CampaignOptions{Workers: 2})
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("run %d: expected panic error", i)
+		}
+	}
+	if sum.Runs != 0 {
+		t.Errorf("failed runs folded into the summary: Runs=%d", sum.Runs)
+	}
+}
+
+// TestSummaryMemoryBounded is the tentpole's acceptance check: the retained
+// distribution payload must stop growing with the run count once sketches
+// spill, while the folded-sample counter keeps climbing.
+func TestSummaryMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-config campaign")
+	}
+	cfg := Config{Env: cell.Urban, Air: true, CC: CCGCC, Seed: 5, Duration: 30 * time.Second}
+	small, errs := RunCampaignSummary(cfg, 2, CampaignOptions{})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	large, errs := RunCampaignSummary(cfg, 8, CampaignOptions{})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if large.SamplesFolded() < 3*small.SamplesFolded() {
+		t.Fatalf("sample counts did not scale: %d vs %d", large.SamplesFolded(), small.SamplesFolded())
+	}
+	// 4× the runs must cost well under 4× the retained bytes; in practice the
+	// bucket set barely grows once the value range is covered.
+	if got, limit := large.RetainedBytes(), 2*small.RetainedBytes(); got > limit {
+		t.Errorf("retained bytes grew with run count: %d for 8 runs vs %d for 2 (limit %d)",
+			got, small.RetainedBytes(), limit)
+	}
+	// And both are far below what the raw samples would occupy.
+	if raw := 8 * large.SamplesFolded(); int64(large.RetainedBytes()) > raw/10 {
+		t.Errorf("sketch payload %d B not ≪ raw payload %d B", large.RetainedBytes(), raw)
+	}
+}

@@ -19,7 +19,7 @@ import (
 func AblationScreamAckWindow(o Options) *Report {
 	o.defaults()
 	r := &Report{ID: "abl-ack", Title: "SCReAM feedback ack-window ablation (urban, §4.2.1)"}
-	run := func(window int) *core.Result {
+	run := func(window int) *core.Summary {
 		return campaign(core.Config{
 			Env: cell.Urban, Air: true, CC: core.CCSCReAM,
 			ScreamAckWindow:        window,
@@ -33,7 +33,7 @@ func AblationScreamAckWindow(o Options) *Report {
 		w64.GoodputMean(), w64.ScreamLosses, w64.ScreamLossesWindow, w64.ScreamDiscards)
 	r.row("window 256: goodput %5.1f Mbps  losses %5d (window-expiry %4d)  discards %d",
 		w256.GoodputMean(), w256.ScreamLosses, w256.ScreamLossesWindow, w256.ScreamDiscards)
-	lossRate := func(r *core.Result) float64 {
+	lossRate := func(r *core.Summary) float64 {
 		if r.PacketsSent == 0 {
 			return 0
 		}

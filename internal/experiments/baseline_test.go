@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rpivideo/internal/core"
+	"rpivideo/internal/obs"
+)
+
+// baselinePath is the checked-in regression baseline the CI gate compares
+// against (regenerate with
+// `rpbench -scenario urban-gcc -metrics <path>` after an intentional
+// behavior change).
+const baselinePath = "testdata/baseline/urban-gcc.metrics.json"
+
+func readBaseline(t *testing.T) *obs.Registry {
+	t.Helper()
+	f, err := os.Open(filepath.FromSlash(baselinePath))
+	if err != nil {
+		t.Fatalf("baseline missing (regenerate with rpbench -scenario urban-gcc -metrics): %v", err)
+	}
+	defer f.Close()
+	base, err := obs.ReadRegistryJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// TestBaselineGate is the regression gate end-to-end: the urban-gcc
+// scenario's campaign metrics must match the checked-in baseline exactly
+// (runs are deterministic, so the tolerance is zero), and a perturbed
+// baseline must trip the gate — proving the comparison actually bites.
+func TestBaselineGate(t *testing.T) {
+	sc, err := ScenarioByName("urban-gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunScenario(sc, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := core.CampaignMetrics(results)
+
+	if drifts := obs.CompareRegistries(readBaseline(t), cur, obs.Tolerance{}); len(drifts) != 0 {
+		for _, d := range drifts {
+			t.Errorf("drift vs baseline: %s", d)
+		}
+		t.Fatal("urban-gcc campaign metrics drifted from testdata/baseline (regenerate the baseline if the change is intentional)")
+	}
+
+	// Perturb the baseline: the gate must catch it and name the metric.
+	perturbed := readBaseline(t)
+	perturbed.Add("packets_sent", 100)
+	drifts := obs.CompareRegistries(perturbed, cur, obs.Tolerance{})
+	found := false
+	for _, d := range drifts {
+		if d.Metric == "counter/packets_sent" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("perturbed baseline not caught: %v", drifts)
+	}
+}

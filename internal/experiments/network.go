@@ -87,12 +87,12 @@ func Fig5OneWayLatency(o Options) *Report {
 	o.defaults()
 	r := &Report{ID: "fig5", Title: "One-way latency CDF, ground vs air (ms)"}
 	grid := []float64{30, 50, 100, 300, 1000}
-	dists := map[string]*metrics.Dist{}
+	dists := map[string]*metrics.Sketch{}
 	for _, cfg := range mobilityConfigs(o.Seed) {
 		res := campaign(cfg, o)
-		d := res.OWDms
-		dists[cfg.Label()] = &d
-		r.Lines = append(r.Lines, cdfRow(cfg.Label(), &d, grid))
+		d := &res.OWDms
+		dists[cfg.Label()] = d
+		r.Lines = append(r.Lines, cdfRow(cfg.Label(), d, grid))
 	}
 	grdU100 := dists["urban-P1-grd-static"].FracBelow(100)
 	airU100 := dists["urban-P1-air-static"].FracBelow(100)

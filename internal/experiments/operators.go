@@ -36,7 +36,7 @@ func Fig10OperatorCapacity(o Options) *Report {
 func Fig12OperatorVideo(o Options) *Report {
 	o.defaults()
 	r := &Report{ID: "fig12", Title: "Video delivery per operator, rural (Appendix A.3)"}
-	res := map[string]*core.Result{}
+	res := map[string]*core.Summary{}
 	for _, op := range []cell.Operator{cell.P1, cell.P2} {
 		for _, ccKind := range []core.CCKind{core.CCStatic, core.CCSCReAM, core.CCGCC} {
 			cfg := core.Config{Env: cell.Rural, Op: op, Air: true, CC: ccKind, Seed: o.Seed}

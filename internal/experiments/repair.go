@@ -66,7 +66,7 @@ func Repair(o Options) *Report {
 
 	arms := []struct {
 		name string
-		m    *core.Result
+		m    *core.Summary
 	}{{"pli-only", pliOnly}, {"nack/rtx", rep}, {"starved", stv}}
 	for _, a := range arms {
 		m := a.m

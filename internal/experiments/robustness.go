@@ -43,7 +43,7 @@ func Robustness(o Options) *Report {
 		},
 	}
 	regimes := []core.CCKind{core.CCStatic, core.CCGCC, core.CCSCReAM}
-	res := make(map[core.CCKind]*core.Result, len(regimes))
+	res := make(map[core.CCKind]*core.Summary, len(regimes))
 	for _, cc := range regimes {
 		cfg := base
 		cfg.CC = cc

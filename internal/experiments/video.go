@@ -19,9 +19,9 @@ func ccConfigs(seed int64) []core.Config {
 	return out
 }
 
-// videoCampaigns runs the six cells and returns merged results by label.
-func videoCampaigns(o Options) map[string]*core.Result {
-	out := map[string]*core.Result{}
+// videoCampaigns runs the six cells and returns campaign summaries by label.
+func videoCampaigns(o Options) map[string]*core.Summary {
+	out := map[string]*core.Summary{}
 	for _, cfg := range ccConfigs(o.Seed) {
 		out[cfg.Label()] = campaign(cfg, o)
 	}

@@ -36,9 +36,15 @@ func (d *Dist) AddAll(o *Dist) {
 // N returns the number of samples.
 func (d *Dist) N() int { return len(d.samples) }
 
-// Samples returns the raw samples in insertion order (sorted ascending if a
-// quantile query has run). The slice is shared — callers must not mutate it.
-func (d *Dist) Samples() []float64 { return d.samples }
+// Samples returns a copy of the raw samples in insertion order (sorted
+// ascending if a quantile query has run). The copy is the caller's: later
+// quantile queries — which sort the internal slice in place — cannot
+// reorder it, and mutating it cannot corrupt the distribution.
+func (d *Dist) Samples() []float64 {
+	out := make([]float64, len(d.samples))
+	copy(out, d.samples)
+	return out
+}
 
 // Sum returns the sum of all samples.
 func (d *Dist) Sum() float64 { return d.sum }

@@ -303,3 +303,26 @@ func TestPropertyCDFMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSamplesNotAliased is the regression test for the Samples aliasing
+// footgun: quantile queries sort the internal slice in place, which used to
+// silently reorder a previously returned Samples() slice.
+func TestSamplesNotAliased(t *testing.T) {
+	var d Dist
+	in := []float64{5, 1, 4, 2, 3}
+	for _, v := range in {
+		d.Add(v)
+	}
+	got := d.Samples()
+	d.Quantile(0.5) // sorts internally
+	for i, v := range in {
+		if got[i] != v {
+			t.Fatalf("Samples() slice reordered by Quantile: got %v, want %v", got, in)
+		}
+	}
+	// Mutating the returned slice must not corrupt the distribution.
+	got[0] = 1e9
+	if d.Max() != 5 {
+		t.Fatalf("mutating Samples() corrupted the Dist: max %g", d.Max())
+	}
+}

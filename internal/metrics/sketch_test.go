@@ -1,0 +1,267 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sketchOf builds a sketch from samples.
+func sketchOf(samples []float64) *Sketch {
+	var s Sketch
+	for _, v := range samples {
+		s.Add(v)
+	}
+	return &s
+}
+
+func TestSketchEmpty(t *testing.T) {
+	var s Sketch
+	if s.N() != 0 || s.Mean() != 0 || s.Median() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Errorf("empty sketch not all-zero: %+v", s.Box())
+	}
+	if got := s.FracAtOrAbove(10); got != 0 {
+		t.Errorf("empty FracAtOrAbove = %g, want 0 (no vacuous threshold passes)", got)
+	}
+	if got := s.CDF([]float64{1, 2}); got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty CDF = %v, want zeros", got)
+	}
+}
+
+// TestSketchExactPathMatchesDist pins the small-N contract: at or below the
+// exact cap the sketch is a Dist, bit for bit.
+func TestSketchExactPathMatchesDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var d Dist
+	var s Sketch
+	for i := 0; i < sketchExactCap; i++ {
+		v := rng.ExpFloat64() * 50
+		d.Add(v)
+		s.Add(v)
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+		if dq, sq := d.Quantile(q), s.Quantile(q); dq != sq {
+			t.Errorf("exact path q=%g: sketch %g != dist %g", q, sq, dq)
+		}
+	}
+	for _, x := range []float64{1, 10, 50, 200} {
+		if df, sf := d.FracBelow(x), s.FracBelow(x); df != sf {
+			t.Errorf("exact path FracBelow(%g): sketch %g != dist %g", x, sf, df)
+		}
+	}
+	xs := []float64{5, 25, 100}
+	dc, sc := d.CDF(xs), s.CDF(xs)
+	for i := range xs {
+		if dc[i] != sc[i] {
+			t.Errorf("exact path CDF(%g): sketch %g != dist %g", xs[i], sc[i], dc[i])
+		}
+	}
+}
+
+// TestSketchQuantileAccuracy checks the bucketed path's relative-error
+// guarantee against exact Dist quantiles on a large sample.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var d Dist
+	var s Sketch
+	for i := 0; i < 50000; i++ {
+		// Log-uniform over ~6 decades, the OWD/goodput value range.
+		v := math.Exp(rng.Float64()*14 - 4)
+		d.Add(v)
+		s.Add(v)
+	}
+	for _, q := range []float64{0, 0.001, 0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 0.999, 1} {
+		dq, sq := d.Quantile(q), s.Quantile(q)
+		if rel := math.Abs(sq-dq) / dq; rel > SketchAlpha {
+			t.Errorf("q=%g: sketch %g vs dist %g, rel err %.4f > %.4f", q, sq, dq, rel, SketchAlpha)
+		}
+	}
+	if s.Min() != d.Min() || s.Max() != d.Max() {
+		t.Errorf("extremes not exact: sketch [%g,%g] vs dist [%g,%g]", s.Min(), s.Max(), d.Min(), d.Max())
+	}
+	if math.Abs(s.Mean()-d.Mean()) > 1e-9*math.Abs(d.Mean()) {
+		t.Errorf("mean drifted: sketch %g vs dist %g", s.Mean(), d.Mean())
+	}
+	if s.Buckets() >= s.N()/10 {
+		t.Errorf("sketch kept %d buckets for %d samples — not sublinear", s.Buckets(), s.N())
+	}
+}
+
+// TestSketchNegativeAndZero covers the mirrored and zero cells.
+func TestSketchNegativeAndZero(t *testing.T) {
+	var s Sketch
+	vals := make([]float64, 0, 600)
+	for i := 0; i < 200; i++ {
+		vals = append(vals, float64(i+1), -float64(i+1), 0)
+	}
+	for _, v := range vals {
+		s.Add(v)
+	}
+	if s.N() != 600 {
+		t.Fatalf("N = %d, want 600", s.N())
+	}
+	if med := s.Median(); math.Abs(med) > 1e-9 {
+		t.Errorf("median of symmetric distribution = %g, want 0", med)
+	}
+	if s.Min() != -200 || s.Max() != 200 {
+		t.Errorf("extremes [%g,%g], want [-200,200]", s.Min(), s.Max())
+	}
+	if fb := s.FracBelow(0); math.Abs(fb-200.0/600) > 0.01 {
+		t.Errorf("FracBelow(0) = %g, want ≈1/3", fb)
+	}
+}
+
+// TestSketchMergeOrderInvariance is the associativity/commutativity
+// property test (testing/quick): for random sample batches, (a⊕b)⊕c and
+// a⊕(c⊕b) answer every quantile and threshold query identically, and both
+// agree with the exact Dist within one bucket's relative error.
+func TestSketchMergeOrderInvariance(t *testing.T) {
+	prop := func(a, b, c []float64, scale uint8) bool {
+		// Map raw quick floats into a plausible positive-heavy range and
+		// drop non-finite inputs (Add ignores NaN by contract anyway).
+		clean := func(in []float64) []float64 {
+			out := make([]float64, 0, len(in))
+			for _, v := range in {
+				v *= float64(scale%7+1) / 1e300
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					continue
+				}
+				out = append(out, v)
+			}
+			return out
+		}
+		a, b, c = clean(a), clean(b), clean(c)
+
+		sa, sb, sc := sketchOf(a), sketchOf(b), sketchOf(c)
+		// (a⊕b)⊕c
+		var left Sketch
+		left.Merge(sa)
+		left.Merge(sb)
+		left.Merge(sc)
+		// a⊕(c⊕b)
+		var inner Sketch
+		inner.Merge(sc)
+		inner.Merge(sb)
+		var right Sketch
+		right.Merge(sa)
+		right.Merge(&inner)
+
+		var d Dist
+		for _, v := range a {
+			d.Add(v)
+		}
+		for _, v := range b {
+			d.Add(v)
+		}
+		for _, v := range c {
+			d.Add(v)
+		}
+
+		if left.N() != right.N() || left.N() != d.N() {
+			t.Logf("N mismatch: left %d right %d dist %d", left.N(), right.N(), d.N())
+			return false
+		}
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+			lq, rq := left.Quantile(q), right.Quantile(q)
+			if lq != rq {
+				t.Logf("q=%g: grouping changed the answer: %g vs %g", q, lq, rq)
+				return false
+			}
+			dq := d.Quantile(q)
+			// One bucket's relative error, plus interpolation slack when
+			// the two closest ranks straddle buckets.
+			tol := SketchAlpha*math.Abs(dq) + 1e-12
+			if d.N() > 0 && math.Abs(lq-dq) > tol+interpSlack(&d, q) {
+				t.Logf("q=%g: sketch %g vs dist %g beyond tolerance", q, lq, dq)
+				return false
+			}
+		}
+		for _, x := range []float64{-1, 0, 0.5, 2, 10} {
+			if left.FracBelow(x) != right.FracBelow(x) {
+				t.Logf("FracBelow(%g): grouping changed the answer", x)
+				return false
+			}
+		}
+		if left.Min() != right.Min() || left.Max() != right.Max() {
+			t.Logf("extremes differ across groupings")
+			return false
+		}
+		if math.Abs(left.Sum()-right.Sum()) > 1e-6*(1+math.Abs(left.Sum())) {
+			t.Logf("sums diverged beyond float reassociation slack")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// interpSlack bounds the extra error Dist's closest-rank interpolation can
+// introduce relative to bucket representatives: the gap between the two
+// straddled order statistics.
+func interpSlack(d *Dist, q float64) float64 {
+	if d.N() < 2 {
+		return 0
+	}
+	pos := q * float64(d.N()-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return 0
+	}
+	d.sort()
+	return math.Abs(d.samples[hi]-d.samples[lo]) * (1 + SketchAlpha)
+}
+
+// TestSketchMergeSpillBoundary exercises merges that cross the exact cap.
+func TestSketchMergeSpillBoundary(t *testing.T) {
+	mk := func(n int, base float64) *Sketch {
+		var s Sketch
+		for i := 0; i < n; i++ {
+			s.Add(base + float64(i))
+		}
+		return &s
+	}
+	small := mk(sketchExactCap/2, 1)
+	if small.spilled() {
+		t.Fatal("small sketch spilled early")
+	}
+	// Exact + exact staying under the cap stays exact.
+	var a Sketch
+	a.Merge(mk(10, 1))
+	a.Merge(mk(10, 100))
+	if a.spilled() {
+		t.Error("20-sample merge spilled")
+	}
+	// Crossing the cap spills, and the source is untouched.
+	var b Sketch
+	b.Merge(small)
+	b.Merge(mk(sketchExactCap, 1000))
+	if !b.spilled() {
+		t.Error("over-cap merge did not spill")
+	}
+	if small.spilled() {
+		t.Error("Merge mutated its argument")
+	}
+	if b.N() != sketchExactCap/2+sketchExactCap {
+		t.Errorf("merged N = %d", b.N())
+	}
+}
+
+func TestSketchAddDist(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 1000; i++ {
+		d.Add(float64(i))
+	}
+	var s Sketch
+	s.AddDist(&d)
+	if s.N() != 1000 {
+		t.Fatalf("N = %d", s.N())
+	}
+	med := s.Median()
+	if rel := math.Abs(med-d.Median()) / d.Median(); rel > SketchAlpha {
+		t.Errorf("median %g vs %g, rel %g", med, d.Median(), rel)
+	}
+}

@@ -1,0 +1,196 @@
+package analyze
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rpivideo/internal/cell"
+	"rpivideo/internal/core"
+	"rpivideo/internal/obs"
+)
+
+func us(v int64) time.Duration { return time.Duration(v) * time.Microsecond }
+
+// TestAnalyzeSynthetic pins the analyzer's arithmetic on a hand-built
+// trace: bin assignment, OWD stats, the Fig. 9 window ratios, outage
+// pairing (including a still-open outage) and the repair roll-up.
+func TestAnalyzeSynthetic(t *testing.T) {
+	meta := obs.RunMeta{Label: "synthetic", Run: 3, Seed: 42, Duration: 4 * time.Second, Events: 14}
+	events := []obs.Event{
+		// Second 0: two OWD samples, one ctrl recv (excluded), one send/drop.
+		{T: us(100_000), Kind: obs.KindSend, Dir: obs.DirUp, Seq: 1, Aux: 1200},
+		{T: us(130_000), Kind: obs.KindRecv, Dir: obs.DirUp, Seq: 1, Aux: 1200, V: 30},
+		{T: us(200_000), Kind: obs.KindRecv, Dir: obs.DirUp, Seq: 2, Aux: 800, V: 60},
+		{T: us(250_000), Kind: obs.KindRecv, Dir: obs.DirDown, Flags: obs.FlagCtrl, Seq: 9, Aux: 64, V: 25},
+		{T: us(300_000), Kind: obs.KindDrop, Dir: obs.DirUp, Seq: 3, Aux: 1},
+		// Handover at t=1.5s with HET 80 ms: pre window [0.5s,1.5s) holds
+		// samples 40 and 120 (ratio 3), post window [1.58s,2.58s) holds 50
+		// and 100 (ratio 2).
+		{T: us(600_000), Kind: obs.KindRecv, Dir: obs.DirUp, Seq: 4, Aux: 500, V: 40},
+		{T: us(1_400_000), Kind: obs.KindRecv, Dir: obs.DirUp, Seq: 5, Aux: 500, V: 120},
+		{T: us(1_500_000), Kind: obs.KindHandover, Seq: 7, Aux: 8, V: 80},
+		{T: us(1_600_000), Kind: obs.KindRecv, Dir: obs.DirUp, Seq: 6, Aux: 500, V: 50},
+		{T: us(2_500_000), Kind: obs.KindRecv, Dir: obs.DirUp, Seq: 7, Aux: 500, V: 100},
+		// Closed outage on the uplink, open outage on the second chain.
+		{T: us(1_500_000), Kind: obs.KindOutageStart, Dir: obs.DirUp},
+		{T: us(1_580_000), Kind: obs.KindOutageEnd, Dir: obs.DirUp},
+		{T: us(3_000_000), Kind: obs.KindOutageStart, Dir: obs.DirUp2},
+		// Repair events.
+		{T: us(3_100_000), Kind: obs.KindNack, Seq: 10, Aux: 2},
+		{T: us(3_150_000), Kind: obs.KindRTX, Seq: 10, Aux: 1200},
+		{T: us(3_200_000), Kind: obs.KindRepairOK, Seq: 10, Aux: 1, V: 90},
+		{T: us(3_250_000), Kind: obs.KindRepairOK, Seq: 11, Aux: 0, V: 30},
+		{T: us(3_300_000), Kind: obs.KindRepairAbandoned, Seq: 12, Aux: 3},
+	}
+	a := Run(meta, events)
+
+	if len(a.Seconds) != 4 {
+		t.Fatalf("bins = %d, want 4", len(a.Seconds))
+	}
+	s0 := a.Seconds[0]
+	if s0.Sent != 1 || s0.Recv != 3 || s0.Dropped != 1 {
+		t.Errorf("second 0 sent/recv/drop = %d/%d/%d, want 1/3/1", s0.Sent, s0.Recv, s0.Dropped)
+	}
+	if s0.OWDSamples != 3 || s0.OWDMinMs != 30 || s0.OWDMaxMs != 60 {
+		t.Errorf("second 0 OWD = n%d min%g max%g, want n3 min30 max60", s0.OWDSamples, s0.OWDMinMs, s0.OWDMaxMs)
+	}
+	if want := (30.0 + 60 + 40) / 3; s0.OWDMeanMs != want {
+		t.Errorf("second 0 OWD mean = %g, want %g", s0.OWDMeanMs, want)
+	}
+	if want := float64(1200+800+500) * 8 / 1e6; s0.GoodputMbps != want {
+		t.Errorf("second 0 goodput = %g, want %g", s0.GoodputMbps, want)
+	}
+	if a.Seconds[1].Handovers != 1 {
+		t.Errorf("handover not binned into second 1")
+	}
+
+	if len(a.Epochs) != 1 {
+		t.Fatalf("epochs = %d, want 1", len(a.Epochs))
+	}
+	e := a.Epochs[0]
+	if e.Kind != "handover" || e.AtUs != 1_500_000 || e.GapUs != 80_000 || e.Src != 7 || e.Dst != 8 {
+		t.Errorf("epoch = %+v", e)
+	}
+	if !e.PreOK || e.PreSamples != 2 || e.PreRatio != 3 {
+		t.Errorf("pre window = ratio %g ok %v n %d, want 3/true/2", e.PreRatio, e.PreOK, e.PreSamples)
+	}
+	if !e.PostOK || e.PostSamples != 2 || e.PostRatio != 2 {
+		t.Errorf("post window = ratio %g ok %v n %d, want 2/true/2", e.PostRatio, e.PostOK, e.PostSamples)
+	}
+
+	wantOutages := []Outage{
+		{Dir: "up", StartUs: 1_500_000, EndUs: 1_580_000},
+		{Dir: "up2", StartUs: 3_000_000, EndUs: 4_000_000, Open: true},
+	}
+	if len(a.Outages) != len(wantOutages) {
+		t.Fatalf("outages = %+v", a.Outages)
+	}
+	for i, want := range wantOutages {
+		if a.Outages[i] != want {
+			t.Errorf("outage %d = %+v, want %+v", i, a.Outages[i], want)
+		}
+	}
+
+	r := a.Repair
+	if r.NacksSent != 1 || r.RtxSent != 1 || r.RepairedByRtx != 1 || r.RepairedLate != 1 || r.Abandoned != 1 {
+		t.Errorf("repair = %+v", r)
+	}
+	if r.HealMinMs != 30 || r.HealMaxMs != 90 || r.HealMeanMs != 60 {
+		t.Errorf("heal stats = %g/%g/%g, want 30/60/90", r.HealMinMs, r.HealMeanMs, r.HealMaxMs)
+	}
+
+	pre, post := Fig9([]*RunAnalysis{a})
+	if pre.Count != 1 || pre.Mean != 3 || post.Count != 1 || post.Mean != 2 {
+		t.Errorf("Fig9 = pre %+v post %+v", pre, post)
+	}
+}
+
+// TestWindowRatioInvalid: empty windows and non-positive minima are not
+// valid ratios.
+func TestWindowRatioInvalid(t *testing.T) {
+	meta := obs.RunMeta{Duration: 3 * time.Second}
+	a := Run(meta, []obs.Event{
+		{T: us(1_500_000), Kind: obs.KindHandover, V: 50},
+		{T: us(1_700_000), Kind: obs.KindRecv, Dir: obs.DirUp, V: 0}, // min ≤ 0
+	})
+	e := a.Epochs[0]
+	if e.PreOK || e.PreSamples != 0 {
+		t.Errorf("empty pre window reported OK: %+v", e)
+	}
+	if e.PostOK || e.PostSamples != 1 {
+		t.Errorf("zero-min post window reported OK: %+v", e)
+	}
+}
+
+func readBundle(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, name := range []string{SeriesCSV, EpochsCSV, OutagesCSV, SummaryJSON} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("bundle missing %s: %v", name, err)
+		}
+		out[name] = b
+	}
+	return out
+}
+
+// TestLiveVsReplayBitIdentical is the headline acceptance check: analyzing
+// a run's live tracer feed and analyzing its JSONL export must produce
+// byte-identical report bundles.
+func TestLiveVsReplayBitIdentical(t *testing.T) {
+	cfg := core.Config{Env: cell.Urban, Air: true, CC: core.CCGCC, Seed: 11, Duration: 30 * time.Second, Trace: true}
+	r := core.Run(cfg)
+
+	// Live path: meta and events straight from the run's tracer.
+	live := []*RunAnalysis{Run(core.TraceRunMeta(r, 0), r.Trace.Events())}
+	liveDir := t.TempDir()
+	if err := WriteBundle(liveDir, live); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay path: JSONL export, parsed back, analyzed.
+	var buf bytes.Buffer
+	if err := core.WriteCampaignTrace(&buf, []*core.Result{r}); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := obs.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayDir := t.TempDir()
+	if err := WriteBundle(replayDir, Trace(runs)); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := readBundle(t, liveDir), readBundle(t, replayDir)
+	for name := range a {
+		if !bytes.Equal(a[name], b[name]) {
+			t.Errorf("%s differs between live and replay analysis", name)
+		}
+	}
+
+	// The run must actually exercise the interesting paths, or the
+	// bit-identity above is vacuous.
+	if len(live[0].owd) == 0 {
+		t.Error("no OWD samples analyzed")
+	}
+	var handovers int64
+	for _, s := range live[0].Seconds {
+		handovers += s.Handovers
+	}
+	if handovers == 0 {
+		t.Error("run produced no handovers; pick a longer duration or different seed")
+	}
+	pre, post := Fig9(live)
+	if pre.Count == 0 || post.Count == 0 {
+		t.Errorf("Fig9 windows empty: pre %+v post %+v", pre, post)
+	}
+	if math.IsNaN(pre.Mean) || math.IsNaN(post.Mean) {
+		t.Errorf("Fig9 means NaN: %g / %g", pre.Mean, post.Mean)
+	}
+}

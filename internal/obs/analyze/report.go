@@ -1,0 +1,243 @@
+package analyze
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// ReportSchema versions the bundle layout. Bump it when a file, column or
+// field changes meaning; the consumer side (plot scripts, the regression
+// suite) keys on it.
+const ReportSchema = "rpbench-report/v1"
+
+// Bundle file names under the report directory.
+const (
+	SeriesCSV   = "series.csv"
+	EpochsCSV   = "epochs.csv"
+	OutagesCSV  = "outages.csv"
+	SummaryJSON = "summary.json"
+)
+
+// runSummary is one run's roll-up inside summary.json.
+type runSummary struct {
+	Label         string        `json:"label"`
+	Run           int           `json:"run"`
+	Seed          int64         `json:"seed"`
+	DurationUs    int64         `json:"duration_us"`
+	Events        int64         `json:"events"`
+	Dropped       int64         `json:"dropped"`
+	OWDSamples    int64         `json:"owd_samples"`
+	Handovers     int64         `json:"handovers"`
+	RLFs          int64         `json:"rlfs"`
+	Stalls        int64         `json:"stalls"`
+	FramesPlayed  int64         `json:"frames_played"`
+	FramesSkipped int64         `json:"frames_skipped"`
+	Outages       int           `json:"outages"`
+	Repair        RepairSummary `json:"repair"`
+}
+
+type reportSummary struct {
+	Schema string       `json:"schema"`
+	Runs   []runSummary `json:"runs"`
+	Fig9   struct {
+		Pre  RatioStats `json:"pre"`
+		Post RatioStats `json:"post"`
+	} `json:"fig9"`
+}
+
+// WriteBundle renders the analyzed runs as a report bundle under dir
+// (created if absent): three CSV time-series/event files plus a
+// summary.json roll-up. All rendering is fixed-order with strconv/encoding-
+// json formatting, so the bundle bytes are a pure function of the analyses
+// — the live-vs-replay bit-identity contract extends through to disk.
+func WriteBundle(dir string, runs []*RunAnalysis) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("analyze: creating report dir: %w", err)
+	}
+	if err := writeFile(dir, SeriesCSV, func(w *bufio.Writer) error {
+		return writeSeriesCSV(w, runs)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(dir, EpochsCSV, func(w *bufio.Writer) error {
+		return writeEpochsCSV(w, runs)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(dir, OutagesCSV, func(w *bufio.Writer) error {
+		return writeOutagesCSV(w, runs)
+	}); err != nil {
+		return err
+	}
+	return writeFile(dir, SummaryJSON, func(w *bufio.Writer) error {
+		return writeSummaryJSON(w, runs)
+	})
+}
+
+func writeFile(dir, name string, fill func(*bufio.Writer) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := fill(w); err != nil {
+		f.Close()
+		return fmt.Errorf("analyze: writing %s: %w", name, err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("analyze: writing %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("analyze: writing %s: %w", name, err)
+	}
+	return nil
+}
+
+// row builds one CSV record with strconv formatting: floats as shortest
+// round-trippable 'g', bools as 0/1.
+type row struct{ buf []byte }
+
+func (r *row) str(s string)  { r.sep(); r.buf = append(r.buf, s...) }
+func (r *row) int(v int64)   { r.sep(); r.buf = strconv.AppendInt(r.buf, v, 10) }
+func (r *row) f64(v float64) { r.sep(); r.buf = strconv.AppendFloat(r.buf, v, 'g', -1, 64) }
+func (r *row) bool01(b bool) {
+	v := int64(0)
+	if b {
+		v = 1
+	}
+	r.int(v)
+}
+func (r *row) sep() {
+	if len(r.buf) > 0 {
+		r.buf = append(r.buf, ',')
+	}
+}
+func (r *row) write(w *bufio.Writer) error {
+	r.buf = append(r.buf, '\n')
+	_, err := w.Write(r.buf)
+	r.buf = r.buf[:0]
+	return err
+}
+
+func writeSeriesCSV(w *bufio.Writer, runs []*RunAnalysis) error {
+	if _, err := w.WriteString("label,run,t_s,owd_samples,owd_min_ms,owd_mean_ms,owd_max_ms,goodput_mbps,target_mbps,sent,recv,dropped,handovers,rlfs,stalls,frames_played,frames_skipped\n"); err != nil {
+		return err
+	}
+	var r row
+	for _, a := range runs {
+		for i := range a.Seconds {
+			s := &a.Seconds[i]
+			r.str(a.Meta.Label)
+			r.int(int64(a.Meta.Run))
+			r.int(s.T)
+			r.int(s.OWDSamples)
+			r.f64(s.OWDMinMs)
+			r.f64(s.OWDMeanMs)
+			r.f64(s.OWDMaxMs)
+			r.f64(s.GoodputMbps)
+			r.f64(s.TargetMbps)
+			r.int(s.Sent)
+			r.int(s.Recv)
+			r.int(s.Dropped)
+			r.int(s.Handovers)
+			r.int(s.RLFs)
+			r.int(s.Stalls)
+			r.int(s.FramesPlayed)
+			r.int(s.FramesSkipped)
+			if err := r.write(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeEpochsCSV(w *bufio.Writer, runs []*RunAnalysis) error {
+	if _, err := w.WriteString("label,run,kind,at_us,gap_us,src,dst,pre_ratio,pre_ok,pre_samples,post_ratio,post_ok,post_samples\n"); err != nil {
+		return err
+	}
+	var r row
+	for _, a := range runs {
+		for _, e := range a.Epochs {
+			r.str(a.Meta.Label)
+			r.int(int64(a.Meta.Run))
+			r.str(e.Kind)
+			r.int(e.AtUs)
+			r.int(e.GapUs)
+			r.int(e.Src)
+			r.int(e.Dst)
+			r.f64(e.PreRatio)
+			r.bool01(e.PreOK)
+			r.int(e.PreSamples)
+			r.f64(e.PostRatio)
+			r.bool01(e.PostOK)
+			r.int(e.PostSamples)
+			if err := r.write(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeOutagesCSV(w *bufio.Writer, runs []*RunAnalysis) error {
+	if _, err := w.WriteString("label,run,dir,start_us,end_us,duration_us,open\n"); err != nil {
+		return err
+	}
+	var r row
+	for _, a := range runs {
+		for _, o := range a.Outages {
+			r.str(a.Meta.Label)
+			r.int(int64(a.Meta.Run))
+			r.str(o.Dir)
+			r.int(o.StartUs)
+			r.int(o.EndUs)
+			r.int(o.DurationUs())
+			r.bool01(o.Open)
+			if err := r.write(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSummaryJSON(w *bufio.Writer, runs []*RunAnalysis) error {
+	sum := reportSummary{Schema: ReportSchema, Runs: make([]runSummary, 0, len(runs))}
+	for _, a := range runs {
+		rs := runSummary{
+			Label:      a.Meta.Label,
+			Run:        a.Meta.Run,
+			Seed:       a.Meta.Seed,
+			DurationUs: a.Meta.Duration.Microseconds(),
+			Events:     a.Meta.Events,
+			Dropped:    a.Meta.Dropped,
+			Outages:    len(a.Outages),
+			Repair:     a.Repair,
+		}
+		for i := range a.Seconds {
+			s := &a.Seconds[i]
+			rs.OWDSamples += s.OWDSamples
+			rs.Handovers += s.Handovers
+			rs.RLFs += s.RLFs
+			rs.Stalls += s.Stalls
+			rs.FramesPlayed += s.FramesPlayed
+			rs.FramesSkipped += s.FramesSkipped
+		}
+		sum.Runs = append(sum.Runs, rs)
+	}
+	sum.Fig9.Pre, sum.Fig9.Post = Fig9(runs)
+	out, err := json.MarshalIndent(&sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(out); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}

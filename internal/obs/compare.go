@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// ReadRegistryJSON parses a registry previously exported by WriteJSON. It
+// is the read side of the regression gate: a checked-in baseline export is
+// read back and compared against a freshly computed registry.
+func ReadRegistryJSON(r io.Reader) (*Registry, error) {
+	var in registryJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("obs: parsing registry JSON: %w", err)
+	}
+	reg := NewRegistry()
+	for name, v := range in.Counters {
+		reg.counters[name] = v
+	}
+	for name, v := range in.Gauges {
+		reg.gauges[name] = v
+	}
+	for name, h := range in.Histograms {
+		if h == nil {
+			continue
+		}
+		if len(h.Counts) != len(h.Buckets) {
+			return nil, fmt.Errorf("obs: registry histogram %q: %d counts for %d buckets", name, len(h.Counts), len(h.Buckets))
+		}
+		reg.hists[name] = h
+	}
+	return reg, nil
+}
+
+// Tolerance configures the regression gate's per-metric drift allowance.
+// Relative drift is |cur-base| / max(|base|, 1) — the max(…, 1) floor keeps
+// near-zero baselines from turning one stray packet into infinite drift.
+type Tolerance struct {
+	// Default applies to every metric without a specific entry. Zero means
+	// exact equality.
+	Default float64
+	// PerMetric overrides the default for specific metric names. Histogram
+	// facets use the exported drift names ("histogram/<name>/count" etc.).
+	PerMetric map[string]float64
+}
+
+// allowed returns the tolerance for one metric name.
+func (t Tolerance) allowed(name string) float64 {
+	if v, ok := t.PerMetric[name]; ok {
+		return v
+	}
+	return t.Default
+}
+
+// Drift is one metric that moved beyond its tolerance, or appeared or
+// disappeared between baseline and current.
+type Drift struct {
+	Metric  string  `json:"metric"`
+	Base    float64 `json:"base"`
+	Cur     float64 `json:"cur"`
+	Rel     float64 `json:"rel"`
+	Allowed float64 `json:"allowed"`
+	// Missing marks a metric present on exactly one side; Base/Cur carry
+	// the side that has it.
+	Missing string `json:"missing,omitempty"`
+}
+
+func (d Drift) String() string {
+	if d.Missing != "" {
+		return fmt.Sprintf("%s: missing in %s", d.Metric, d.Missing)
+	}
+	return fmt.Sprintf("%s: base %g, cur %g (drift %.4f > allowed %.4f)", d.Metric, d.Base, d.Cur, d.Rel, d.Allowed)
+}
+
+// relDrift computes |cur-base| / max(|base|, 1).
+func relDrift(base, cur float64) float64 {
+	den := math.Abs(base)
+	if den < 1 {
+		den = 1
+	}
+	return math.Abs(cur-base) / den
+}
+
+// CompareRegistries diffs cur against base under the tolerance and returns
+// every drifted metric, sorted by name. Counters and gauges compare by
+// value; histograms compare their count, sum and overflow facets (bucket-by-
+// bucket comparison would re-litigate the layout, which the baseline file
+// already pins). An empty result means the gate passes.
+func CompareRegistries(base, cur *Registry, tol Tolerance) []Drift {
+	var out []Drift
+	num := func(name string, b, c float64, bOK, cOK bool) {
+		switch {
+		case bOK && !cOK:
+			out = append(out, Drift{Metric: name, Base: b, Missing: "cur"})
+		case !bOK && cOK:
+			out = append(out, Drift{Metric: name, Cur: c, Missing: "base"})
+		case bOK && cOK:
+			if rel := relDrift(b, c); rel > tol.allowed(name) {
+				out = append(out, Drift{Metric: name, Base: b, Cur: c, Rel: rel, Allowed: tol.allowed(name)})
+			}
+		}
+	}
+
+	for _, name := range unionKeys(keysOf(base.counters), keysOf(cur.counters)) {
+		b, bOK := base.counters[name]
+		c, cOK := cur.counters[name]
+		num("counter/"+name, float64(b), float64(c), bOK, cOK)
+	}
+	for _, name := range unionKeys(keysOf(base.gauges), keysOf(cur.gauges)) {
+		b, bOK := base.gauges[name]
+		c, cOK := cur.gauges[name]
+		num("gauge/"+name, b, c, bOK, cOK)
+	}
+	for _, name := range unionKeys(keysOf(base.hists), keysOf(cur.hists)) {
+		bh, bOK := base.hists[name]
+		ch, cOK := cur.hists[name]
+		if !bOK || !cOK {
+			side := "cur"
+			if !bOK {
+				side = "base"
+			}
+			out = append(out, Drift{Metric: "histogram/" + name, Missing: side})
+			continue
+		}
+		num("histogram/"+name+"/count", float64(bh.Count), float64(ch.Count), true, true)
+		num("histogram/"+name+"/sum", bh.Sum, ch.Sum, true, true)
+		num("histogram/"+name+"/overflow", float64(bh.Overflow), float64(ch.Overflow), true, true)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Metric < out[j].Metric })
+	return out
+}
+
+func keysOf[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func unionKeys(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, k := range append(a, b...) {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

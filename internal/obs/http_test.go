@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 )
@@ -37,6 +38,75 @@ func TestServePprofAndRuntimeMetrics(t *testing.T) {
 				t.Error("runtime-metrics snapshot is empty")
 			}
 		}
+	}
+}
+
+// TestServeBadAddress: an unparseable or unbindable address comes back as
+// an error naming the address, with no server left behind.
+func TestServeBadAddress(t *testing.T) {
+	for _, addr := range []string{"not-an-address", "256.0.0.1:99999"} {
+		srv, bound, err := Serve(addr)
+		if err == nil {
+			srv.Close()
+			t.Errorf("Serve(%q) succeeded with addr %q, want error", addr, bound)
+			continue
+		}
+		if !strings.Contains(err.Error(), addr) {
+			t.Errorf("Serve(%q) error does not name the address: %v", addr, err)
+		}
+		if srv != nil {
+			t.Errorf("Serve(%q) returned a server alongside the error", addr)
+		}
+	}
+}
+
+// TestServeAddressInUse: binding the same concrete port twice fails on the
+// second call while the first server keeps serving.
+func TestServeAddressInUse(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("first Serve: %v", err)
+	}
+	defer srv.Close()
+	dup, _, err := Serve(addr)
+	if err == nil {
+		dup.Close()
+		t.Fatalf("second Serve on %s succeeded, want address-in-use error", addr)
+	}
+	// The original endpoint is unaffected.
+	resp, err := (&http.Client{Timeout: 5 * time.Second}).Get("http://" + addr + "/debug/runtime-metrics")
+	if err != nil {
+		t.Fatalf("first server died after failed rebind: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("first server degraded after failed rebind: status %d", resp.StatusCode)
+	}
+}
+
+// TestServeShutdownWhileServing: Close during active use terminates the
+// listener; subsequent requests fail with a connection error, and a second
+// Close is a no-op rather than a panic.
+func TestServeShutdownWhileServing(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get("http://" + addr + "/debug/runtime-metrics")
+	if err != nil {
+		t.Fatalf("pre-shutdown request: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining
+	resp.Body.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := client.Get("http://" + addr + "/debug/runtime-metrics"); err == nil {
+		t.Error("request succeeded after Close")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close errored: %v", err)
 	}
 }
 

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// KindFromString maps a JSONL kind value back to its Kind. It is the
+// inverse of Kind.String for every kind WriteJSONL emits.
+func KindFromString(s string) (Kind, bool) {
+	for k := KindSend; k <= KindRepairAbandoned; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// DirFromString maps a JSONL dir value back to its Dir; the empty string is
+// DirNone (the writer omits the key for it).
+func DirFromString(s string) (Dir, bool) {
+	switch s {
+	case "":
+		return DirNone, true
+	case "up":
+		return DirUp, true
+	case "down":
+		return DirDown, true
+	case "up2":
+		return DirUp2, true
+	}
+	return 0, false
+}
+
+// TraceRun is one run's section of a JSONL trace: its meta line and the
+// events that followed it.
+type TraceRun struct {
+	Meta   RunMeta
+	Events []Event
+}
+
+// jsonlLine is the union of the meta-line and event-line fields; kind
+// discriminates. Unknown keys are ignored, so the reader tolerates schema
+// additions.
+type jsonlLine struct {
+	Kind string `json:"kind"`
+
+	// Meta fields.
+	Label      string `json:"label"`
+	Run        int    `json:"run"`
+	Seed       int64  `json:"seed"`
+	DurationUs int64  `json:"duration_us"`
+	Events     int64  `json:"events"`
+	Dropped    int64  `json:"dropped"`
+
+	// Event fields.
+	TUs  int64   `json:"t_us"`
+	Dir  string  `json:"dir"`
+	Ctrl bool    `json:"ctrl"`
+	Rtx  bool    `json:"rtx"`
+	Seq  int64   `json:"seq"`
+	Aux  int64   `json:"aux"`
+	V    float64 `json:"v"`
+}
+
+// ReadJSONL parses a trace written by WriteJSONL (one or more runs) back
+// into per-run event slices. Event times come back at microsecond
+// granularity — the writer's truncation — and V round-trips exactly
+// (strconv 'g', -1). Events before the first meta line are an error, as is
+// an unknown kind or dir.
+func ReadJSONL(r io.Reader) ([]TraceRun, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var runs []TraceRun
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ln jsonlLine
+		if err := json.Unmarshal(raw, &ln); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+		}
+		if ln.Kind == "meta" {
+			runs = append(runs, TraceRun{Meta: RunMeta{
+				Label:    ln.Label,
+				Run:      ln.Run,
+				Seed:     ln.Seed,
+				Duration: time.Duration(ln.DurationUs) * time.Microsecond,
+				Events:   ln.Events,
+				Dropped:  ln.Dropped,
+			}})
+			continue
+		}
+		if len(runs) == 0 {
+			return nil, fmt.Errorf("obs: trace line %d: event before any meta line", lineNo)
+		}
+		kind, ok := KindFromString(ln.Kind)
+		if !ok {
+			return nil, fmt.Errorf("obs: trace line %d: unknown kind %q", lineNo, ln.Kind)
+		}
+		dir, ok := DirFromString(ln.Dir)
+		if !ok {
+			return nil, fmt.Errorf("obs: trace line %d: unknown dir %q", lineNo, ln.Dir)
+		}
+		var flags uint8
+		if ln.Ctrl {
+			flags |= FlagCtrl
+		}
+		if ln.Rtx {
+			flags |= FlagRTX
+		}
+		cur := &runs[len(runs)-1]
+		cur.Events = append(cur.Events, Event{
+			T:     time.Duration(ln.TUs) * time.Microsecond,
+			Kind:  kind,
+			Dir:   dir,
+			Flags: flags,
+			Seq:   ln.Seq,
+			Aux:   ln.Aux,
+			V:     ln.V,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return runs, nil
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJSONLRoundTrip: ReadJSONL must invert WriteJSONL — times at the
+// writer's microsecond truncation, every other field exactly.
+func TestJSONLRoundTrip(t *testing.T) {
+	meta := RunMeta{Label: "urban-P1-air-gcc", Run: 3, Seed: -42,
+		Duration: 371*time.Second + 250*time.Microsecond, Events: 5, Dropped: 1}
+	events := []Event{
+		{T: 1500 * time.Microsecond, Kind: KindSend, Dir: DirUp, Seq: 1, Aux: 1200},
+		{T: 2*time.Millisecond + 700*time.Nanosecond, Kind: KindRecv, Dir: DirUp, Seq: 1, Aux: 1200, V: 37.25},
+		{T: 3 * time.Millisecond, Kind: KindDrop, Dir: DirDown, Flags: FlagCtrl, Seq: 9, Aux: 2},
+		{T: 4 * time.Millisecond, Kind: KindRTX, Dir: DirUp, Flags: FlagRTX, Seq: 7, Aux: 1100},
+		{T: 5 * time.Millisecond, Kind: KindHandover, Seq: 2, Aux: 5, V: 49.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, meta, events); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	if runs[0].Meta != meta {
+		t.Errorf("meta mismatch:\n got %+v\nwant %+v", runs[0].Meta, meta)
+	}
+	if len(runs[0].Events) != len(events) {
+		t.Fatalf("got %d events, want %d", len(runs[0].Events), len(events))
+	}
+	for i, got := range runs[0].Events {
+		want := events[i]
+		want.T = want.T.Truncate(time.Microsecond) // writer emits t_us
+		if got != want {
+			t.Errorf("event %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// TestJSONLMultiRun: a campaign export with several meta sections splits
+// into per-run slices.
+func TestJSONLMultiRun(t *testing.T) {
+	var buf bytes.Buffer
+	for run := 0; run < 3; run++ {
+		meta := RunMeta{Label: "x", Run: run, Seed: int64(run), Duration: time.Second, Events: 1}
+		ev := []Event{{T: time.Duration(run) * time.Millisecond, Kind: KindStall, Aux: 10}}
+		if err := WriteJSONL(&buf, meta, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(runs))
+	}
+	for i, r := range runs {
+		if r.Meta.Run != i || len(r.Events) != 1 || r.Events[0].Kind != KindStall {
+			t.Errorf("run %d parsed wrong: %+v", i, r)
+		}
+	}
+}
+
+// TestJSONLErrors: malformed input fails with a line-numbered error rather
+// than silently skewing an analysis.
+func TestJSONLErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"event before meta", `{"t_us":1,"kind":"send","seq":0,"aux":0}`, "before any meta"},
+		{"unknown kind", "{\"kind\":\"meta\",\"label\":\"x\",\"run\":0,\"seed\":0,\"duration_us\":1,\"events\":1,\"dropped\":0}\n" +
+			`{"t_us":1,"kind":"warp","seq":0,"aux":0}`, "unknown kind"},
+		{"unknown dir", "{\"kind\":\"meta\",\"label\":\"x\",\"run\":0,\"seed\":0,\"duration_us\":1,\"events\":1,\"dropped\":0}\n" +
+			`{"t_us":1,"kind":"send","dir":"sideways","seq":0,"aux":0}`, "unknown dir"},
+		{"broken json", `{"kind":`, "line 1"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadJSONL(strings.NewReader(tc.in)); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestKindDirStringInverses pins the name tables as actual inverses, so a
+// new Kind cannot silently become unreadable.
+func TestKindDirStringInverses(t *testing.T) {
+	for k := KindSend; k <= KindRepairAbandoned; k++ {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("kind %d (%s) does not round-trip", k, k)
+		}
+	}
+	if _, ok := KindFromString("unknown"); ok {
+		t.Error("the fallback string must not parse as a kind")
+	}
+	for d := DirNone; d <= DirUp2; d++ {
+		got, ok := DirFromString(d.String())
+		if !ok || got != d {
+			t.Errorf("dir %d (%q) does not round-trip", d, d.String())
+		}
+	}
+}

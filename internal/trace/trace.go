@@ -15,6 +15,12 @@ import (
 	"rpivideo/internal/core"
 )
 
+// Schema names and versions the flight-trace JSONL layout (the record
+// kinds and fields below). Consumers should check it when the format is
+// carried outside the repository; bump the suffix on any incompatible
+// record change.
+const Schema = "flight-trace/v1"
+
 // Record kinds.
 const (
 	KindMeta     = "meta"     // run metadata (first record)

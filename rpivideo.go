@@ -175,5 +175,24 @@ func RunCampaignWithOptions(cfg Config, runs int, opts CampaignOptions) ([]*Resu
 // sweeps can reproduce individual campaign runs.
 func DeriveSeed(base int64, run int) int64 { return core.DeriveSeed(base, run) }
 
-// Merge folds several results into combined distributions.
+// Merge folds several results into combined distributions by concatenating
+// samples. For large campaigns prefer Summarize or RunCampaignSummary, whose
+// sketch-based aggregation keeps memory independent of the run count.
 func Merge(results []*Result) *Result { return core.Merge(results) }
+
+// Summary is a campaign-level aggregate built on mergeable quantile
+// sketches: counters sum exactly, distribution queries answer within
+// metrics.SketchAlpha relative error, and memory is O(buckets) regardless
+// of how many runs were folded.
+type Summary = core.Summary
+
+// Summarize folds per-run results into a sketch-based campaign summary.
+func Summarize(results []*Result) *Summary { return core.Summarize(results) }
+
+// RunCampaignSummary executes a campaign and folds each run into a Summary
+// in run-index order, discarding per-run results as it goes: the memory
+// high-water mark no longer grows with the campaign size. The summary is
+// byte-identical at any worker count.
+func RunCampaignSummary(cfg Config, runs int, opts CampaignOptions) (*Summary, []error) {
+	return core.RunCampaignSummary(cfg, runs, opts)
+}
