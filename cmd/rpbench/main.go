@@ -26,6 +26,9 @@
 //
 //	rpbench -scenario urban-gcc -compare baseline.json  # exit 1 on drift
 //	rpbench -fig fig6 -benchout BENCH_campaign.json     # campaign perf stats
+//	rpbench -scenario urban-gcc -benchout BENCH_run.json            # event-loop speed
+//	rpbench -scenario urban-gcc -benchout BENCH_run.json \
+//	        -benchcompare baseline/BENCH_run.json -benchtolerance 0.5  # perf gate
 package main
 
 import (
@@ -87,7 +90,11 @@ func main() {
 	analyzePath := flag.String("analyze", "", "replay a JSONL trace file through the analyzer instead of simulating (use with -report)")
 	comparePath := flag.String("compare", "", "regression gate: diff the scenario's campaign metrics against this baseline registry JSON, exit 1 on drift (requires -scenario)")
 	tolerance := flag.Float64("tolerance", 0, "default relative drift tolerance for -compare (campaigns are deterministic, so 0 = exact is the expected gate)")
-	benchPath := flag.String("benchout", "", "write campaign benchmark stats (wall time, runs/s, aggregation memory) as JSON to this file after the experiments run")
+	benchPath := flag.String("benchout", "", "write benchmark stats as JSON: with -scenario, untraced event-loop speed (BENCH_run.json); otherwise campaign stats after the experiments run")
+	benchComparePath := flag.String("benchcompare", "", "perf regression gate: compare the -benchout speed against this baseline BENCH_run.json, exit 1 when sim_seconds_per_wall_second falls below baseline*(1-benchtolerance) (requires -scenario -benchout)")
+	benchTolerance := flag.Float64("benchtolerance", 0.5, "relative slowdown tolerated by -benchcompare (0.5 = fail below half the baseline speed; generous because CI machines vary)")
+	benchSeconds := flag.Float64("benchseconds", 1.5, "minimum wall-clock seconds of untraced repetitions for the -scenario benchmark")
+	benchDur := flag.Duration("benchdur", 30*time.Second, "simulated duration of each benchmark repetition (0 = the scenario's own duration); the default stretches short scenarios to steady state so the metric reflects event-loop throughput, not setup amortization")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/runtime-metrics on this address while running")
 	flag.Parse()
 
@@ -132,6 +139,19 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rpbench:", err)
 			os.Exit(1)
+		}
+		if *benchPath != "" {
+			slow, err := benchScenario(*scenario, *seed, *benchDur, *benchSeconds, *benchPath, *benchComparePath, *benchTolerance)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rpbench:", err)
+				os.Exit(1)
+			}
+			if slow {
+				os.Exit(1)
+			}
+		} else if *benchComparePath != "" {
+			fmt.Fprintln(os.Stderr, "rpbench: -benchcompare requires -benchout")
+			os.Exit(2)
 		}
 		if drifted {
 			os.Exit(1)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rpivideo/internal/cell"
+	"rpivideo/internal/fault"
 )
 
 // benchResults runs one short campaign once and hands the per-run results
@@ -45,4 +46,44 @@ func BenchmarkAggregateMerge(b *testing.B) {
 		m := Merge(results)
 		b.SetBytes(8 * int64(len(m.OWDms.Samples())))
 	}
+}
+
+// benchRun benchmarks one untraced run configuration and reports simulated
+// seconds per wall second as a custom metric — the number that bounds
+// campaign turnaround (rpbench -benchout gates the same metric in CI).
+func benchRun(b *testing.B, cfg Config) {
+	b.ReportAllocs()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		Run(cfg)
+	}
+	wall := time.Since(start).Seconds()
+	if wall > 0 {
+		b.ReportMetric(cfg.Duration.Seconds()*float64(b.N)/wall, "sim-s/wall-s")
+	}
+}
+
+// BenchmarkRunUrbanGCC is the headline packet-path benchmark: a 30 s urban
+// GCC run at steady state, the same horizon BENCH_run.json records.
+func BenchmarkRunUrbanGCC(b *testing.B) {
+	benchRun(b, Config{Env: cell.Urban, Op: cell.P1, CC: CCGCC, Seed: 1, Duration: 30 * time.Second})
+}
+
+// BenchmarkRunUrbanGCCFaults covers the fault path — outage windows, queue
+// flushing, repair timers and their cancellation — which stresses the
+// timer-pool Stop/remove machinery the heap rework changed.
+func BenchmarkRunUrbanGCCFaults(b *testing.B) {
+	benchRun(b, Config{
+		Env: cell.Urban, Op: cell.P1, CC: CCGCC, Seed: 1, Duration: 30 * time.Second,
+		Faults: fault.Config{
+			Windows:          []fault.Window{{Start: 10 * time.Second, Duration: 2 * time.Second, Dir: fault.Both}},
+			Watchdog:         true,
+			KeyframeRecovery: true,
+		},
+	})
+}
+
+// BenchmarkRunRuralSCReAM covers the second controller and environment.
+func BenchmarkRunRuralSCReAM(b *testing.B) {
+	benchRun(b, Config{Env: cell.Rural, Op: cell.P1, CC: CCSCReAM, Seed: 1, Duration: 30 * time.Second})
 }

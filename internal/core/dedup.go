@@ -1,0 +1,72 @@
+package core
+
+// multipathDedup suppresses the second copy of each packet on a multipath
+// run. RTP sequence numbers are 16-bit and a six-minute flight at campaign
+// bitrates wraps them many times, so deduplication is keyed by the
+// *extended* (unwrapped, 64-bit) sequence: after a wrap, a fresh packet
+// whose 16-bit sequence collides with one from exactly one wrap ago is a
+// new key, not a false duplicate.
+//
+// (The previous implementation keyed the seen-set by the raw uint16 and
+// pruned by uint16 distance from the highest sequence; entries exactly one
+// wrap old sat at distance ≡ 0 and were never evicted, so the first fresh
+// copy after a wrap was discarded as a MultipathDuplicate and the map grew
+// without bound.)
+type multipathDedup struct {
+	started bool
+	highest int64 // extended sequence of the newest packet seen
+	seen    map[int64]bool
+}
+
+// dedup window sizing: prune when the seen-set tops pruneAbove entries,
+// evicting everything more than pruneKeep sequences behind the highest.
+const (
+	dedupPruneAbove = 1 << 14
+	dedupPruneKeep  = 1 << 13
+)
+
+func newMultipathDedup() *multipathDedup {
+	return &multipathDedup{seen: make(map[int64]bool, 1024)}
+}
+
+// extend unwraps a 16-bit sequence to the extended sequence nearest the
+// highest one seen (RFC 1982 serial-number arithmetic, like RTP's extended
+// highest sequence number but without the jump limit).
+func (d *multipathDedup) extend(seq uint16) int64 {
+	if !d.started {
+		return int64(seq)
+	}
+	return d.highest + int64(int16(seq-uint16(d.highest)))
+}
+
+// note records ext as seen and keeps highest and the window current.
+func (d *multipathDedup) note(ext int64) {
+	d.seen[ext] = true
+	if !d.started || ext > d.highest {
+		d.highest = ext
+		d.started = true
+	}
+	if len(d.seen) > dedupPruneAbove {
+		for k := range d.seen {
+			if d.highest-k > dedupPruneKeep {
+				delete(d.seen, k)
+			}
+		}
+	}
+}
+
+// Duplicate records seq and reports whether a copy was already delivered.
+func (d *multipathDedup) Duplicate(seq uint16) bool {
+	ext := d.extend(seq)
+	if d.seen[ext] {
+		return true
+	}
+	d.note(ext)
+	return false
+}
+
+// Mark records a sequence delivered through another channel (an RTX repair)
+// so a late path copy is still recognized as a duplicate.
+func (d *multipathDedup) Mark(seq uint16) {
+	d.note(d.extend(seq))
+}

@@ -1,0 +1,56 @@
+package core
+
+import "testing"
+
+// TestDedupSurvivesSeqWrap feeds two interleaved path copies of every
+// sequence number through several full 16-bit wraps: every first copy must
+// be accepted and every second copy suppressed. The pre-fix implementation
+// keyed the seen-set by the raw uint16, so the first fresh packet after a
+// wrap collided with its namesake from one wrap ago and was falsely flagged
+// as a duplicate.
+func TestDedupSurvivesSeqWrap(t *testing.T) {
+	d := newMultipathDedup()
+	const total = 3 * 65536 // three full wraps
+	for i := 0; i < total; i++ {
+		seq := uint16(i)
+		if d.Duplicate(seq) {
+			t.Fatalf("fresh packet %d (seq %d) flagged as duplicate", i, seq)
+		}
+		if !d.Duplicate(seq) {
+			t.Fatalf("second path copy of packet %d (seq %d) not flagged", i, seq)
+		}
+	}
+	if len(d.seen) > dedupPruneAbove {
+		t.Errorf("seen-set grew to %d entries, prune threshold is %d", len(d.seen), dedupPruneAbove)
+	}
+}
+
+// TestDedupReorderAcrossWrap checks the extended-sequence unwrapping on the
+// slower path: a copy arriving shortly *behind* the wrap boundary must still
+// map to its pre-wrap key and be recognized as a duplicate, while a fresh
+// sequence just after the boundary must not.
+func TestDedupReorderAcrossWrap(t *testing.T) {
+	d := newMultipathDedup()
+	// Walk up to just before the boundary.
+	for i := 65530; i < 65536; i++ {
+		if d.Duplicate(uint16(i)) {
+			t.Fatalf("seq %d duplicate on first sight", i)
+		}
+	}
+	// Cross it.
+	if d.Duplicate(0) || d.Duplicate(1) {
+		t.Fatal("post-wrap sequences flagged as duplicates")
+	}
+	// The second path's copy of the post-wrap packet.
+	if !d.Duplicate(0) {
+		t.Fatal("second copy of post-wrap seq 0 not flagged")
+	}
+	if !d.Duplicate(uint16(65531)) {
+		t.Fatal("late pre-wrap copy of seq 65531 not recognized as duplicate")
+	}
+	// Mark (the RTX path) must land in the same key space.
+	d.Mark(5)
+	if !d.Duplicate(5) {
+		t.Fatal("sequence Marked via the repair path not recognized as duplicate")
+	}
+}

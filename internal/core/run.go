@@ -331,14 +331,22 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 		})
 	}
 
-	// Per-second goodput accounting and optional full series. With
-	// multipath, only the first copy of each packet counts; the duplicate
-	// is discarded at the receiver.
-	goodputBytes := make(map[int]int)
+	// Per-second goodput accounting and optional full series. The counter
+	// is a slice indexed by arrival second (RunUntil guarantees at ≤ dur),
+	// not a map: the packet path pays an add, not a hash. With multipath,
+	// only the first copy of each packet counts; the duplicate is
+	// discarded at the receiver.
+	goodputBytes := make([]int, int(dur/time.Second)+1)
+	addGoodput := func(at time.Duration, size int) {
+		if sec := int(at / time.Second); sec >= 0 && sec < len(goodputBytes) {
+			goodputBytes[sec] += size
+		}
+	}
 	var owdPts []metrics.Point
-	seen := make(map[uint16]bool)
-	var seenHighest uint16
-	seenStarted := false
+	var seen *multipathDedup
+	if uplink2 != nil {
+		seen = newMultipathDedup()
+	}
 	deliver := func(meta any, size int, sentAt, at time.Duration) {
 		if buf, ok := meta.([]byte); ok {
 			// A sender report on the media path.
@@ -359,31 +367,16 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 			if err != nil || !det.OnRepair(osn, at) {
 				return // malformed, duplicate, or already healed/abandoned
 			}
-			if uplink2 != nil {
-				seen[osn] = true
+			if seen != nil {
+				seen.Mark(osn)
 			}
-			goodputBytes[int(at/time.Second)] += size
+			addGoodput(at, size)
 			pl.OnRepairedPacket(orig, at)
 			return
 		}
-		if uplink2 != nil {
-			seq := p.Header.SequenceNumber
-			if seen[seq] {
-				res.MultipathDuplicates++
-				return
-			}
-			seen[seq] = true
-			if !seenStarted || seq-seenHighest < 0x8000 {
-				seenHighest = seq
-				seenStarted = true
-			}
-			if len(seen) > 1<<14 {
-				for k := range seen {
-					if seenHighest-k > 1<<13 {
-						delete(seen, k)
-					}
-				}
-			}
+		if seen != nil && seen.Duplicate(p.Header.SequenceNumber) {
+			res.MultipathDuplicates++
+			return
 		}
 		owd := at - sentAt
 		ms := float64(owd) / float64(time.Millisecond)
@@ -392,7 +385,7 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 		if cfg.KeepSeries {
 			owdPts = append(owdPts, metrics.Point{T: at, V: ms})
 		}
-		goodputBytes[int(at/time.Second)] += size
+		addGoodput(at, size)
 		recStats.Record(p.Header.SequenceNumber, p.Header.Timestamp, at)
 		if det != nil {
 			det.OnPacket(p.Header.SequenceNumber, at)
@@ -590,7 +583,12 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 			if now-tr.ep.End <= 5*time.Second {
 				if !queueSampled {
 					queueSampled = true
-					queueMs = float64(uplink.QueueDelay()) / float64(time.Millisecond)
+					// The advancing variant: this probe is part of the
+					// simulated system, and sampling here has always stepped
+					// the capacity process — switching to the pure QueueDelay
+					// would change every fault campaign's realization (and
+					// golden trace).
+					queueMs = float64(uplink.SampleQueueDelay()) / float64(time.Millisecond)
 				}
 				if queueMs > res.PostOutageQueueMs {
 					res.PostOutageQueueMs = queueMs

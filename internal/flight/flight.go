@@ -9,6 +9,7 @@ package flight
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -64,9 +65,40 @@ type waypoint struct {
 	phase Phase // phase of the segment ending at this waypoint
 }
 
+// segment holds the per-segment constants of the piecewise-linear
+// interpolation, precomputed once so the per-packet At call does no
+// square roots. The values are exactly what the interpolation loop used
+// to recompute each call, so State results are bit-identical.
+type segment struct {
+	dx, dy, dz float64
+	speed      float64
+}
+
 // path is a piecewise-linear Profile.
 type path struct {
-	wps []waypoint
+	wps  []waypoint
+	segs []segment // segs[i] describes the segment ending at wps[i]
+	// hint caches the segment index found by the last At call. Queries are
+	// near-monotonic (channel models sample the trajectory as simulated time
+	// advances), so the hint almost always validates and At is O(1) instead
+	// of a linear scan per packet. At stays a pure function of t — the hint
+	// only short-circuits the search for the same segment.
+	hint int
+}
+
+// newPath builds a path and precomputes its segment constants.
+func newPath(wps []waypoint) *path {
+	p := &path{wps: wps, segs: make([]segment, len(wps))}
+	for i := 1; i < len(wps); i++ {
+		a, b := wps[i-1], wps[i]
+		dx, dy, dz := b.x-a.x, b.y-a.y, b.alt-a.alt
+		speed := 0.0
+		if span := b.at - a.at; span > 0 {
+			speed = dist3(dx, dy, dz) / span.Seconds()
+		}
+		p.segs[i] = segment{dx: dx, dy: dy, dz: dz, speed: speed}
+	}
+	return p
 }
 
 func (p *path) Duration() time.Duration {
@@ -88,31 +120,27 @@ func (p *path) At(t time.Duration) State {
 	if t >= last.at {
 		return State{X: last.x, Y: last.y, Alt: last.alt, Phase: PhaseHover}
 	}
-	for i := 1; i < len(p.wps); i++ {
-		if t > p.wps[i].at {
-			continue
-		}
-		a, b := p.wps[i-1], p.wps[i]
-		span := b.at - a.at
-		frac := 0.0
-		if span > 0 {
-			frac = float64(t-a.at) / float64(span)
-		}
-		dx, dy, dz := b.x-a.x, b.y-a.y, b.alt-a.alt
-		dist := dist3(dx, dy, dz)
-		speed := 0.0
-		if span > 0 {
-			speed = dist / span.Seconds()
-		}
-		return State{
-			X:     a.x + frac*dx,
-			Y:     a.y + frac*dy,
-			Alt:   a.alt + frac*dz,
-			Speed: speed,
-			Phase: b.phase,
-		}
+	// Locate the segment (a, b] containing t: the cached hint if it still
+	// matches, otherwise a binary search for the first waypoint at or after
+	// t — the same segment the original linear scan selected.
+	i := p.hint
+	if i < 1 || i >= len(p.wps) || t <= p.wps[i-1].at || t > p.wps[i].at {
+		i = sort.Search(len(p.wps), func(j int) bool { return p.wps[j].at >= t })
+		p.hint = i
 	}
-	return State{X: last.x, Y: last.y, Alt: last.alt, Phase: PhaseHover}
+	a, b := p.wps[i-1], p.wps[i]
+	sg := p.segs[i]
+	frac := 0.0
+	if span := b.at - a.at; span > 0 {
+		frac = float64(t-a.at) / float64(span)
+	}
+	return State{
+		X:     a.x + frac*sg.dx,
+		Y:     a.y + frac*sg.dy,
+		Alt:   a.alt + frac*sg.dz,
+		Speed: sg.speed,
+		Phase: b.phase,
+	}
 }
 
 func dist3(dx, dy, dz float64) float64 {
@@ -155,7 +183,7 @@ func StandardFlight() Profile {
 		add(hoverPause, x, alt, PhaseHover)
 	}
 	add(secs(alt/climbSpeed), x, 0, PhaseDescent)
-	return &path{wps: wps}
+	return newPath(wps)
 }
 
 // GroundProfile returns the ground-measurement mobility: horizontal runs at
@@ -190,5 +218,5 @@ func GroundProfile(total time.Duration, rng *rand.Rand) Profile {
 	}
 	// Clamp the final waypoint to the requested duration.
 	wps[len(wps)-1].at = total
-	return &path{wps: wps}
+	return newPath(wps)
 }

@@ -89,7 +89,8 @@ type Controller struct {
 
 	prev, cur group
 
-	recv []recvSample // sliding 500 ms receive-rate window
+	recv      []recvSample // sliding 500 ms receive-rate window
+	recvBytes int          // running byte sum over recv
 
 	rtt    time.Duration
 	target float64
@@ -196,17 +197,14 @@ func (c *Controller) receiveRate(latestArrival time.Duration) float64 {
 	cut := latestArrival - window
 	i := 0
 	for i < len(c.recv) && c.recv[i].arrival < cut {
+		c.recvBytes -= c.recv[i].bytes
 		i++
 	}
 	c.recv = c.recv[i:]
 	if len(c.recv) < 2 {
 		return 0
 	}
-	bytes := 0
-	for _, s := range c.recv {
-		bytes += s.bytes
-	}
-	return float64(bytes*8) / window.Seconds()
+	return float64(c.recvBytes*8) / window.Seconds()
 }
 
 // OnFeedback implements cc.Controller: it ingests one TWCC report.
@@ -220,6 +218,7 @@ func (c *Controller) OnFeedback(now time.Duration, acks []cc.Ack) {
 		c.target = c.cfg.MinRate
 		c.prev, c.cur = group{}, group{}
 		c.recv = c.recv[:0]
+		c.recvBytes = 0
 	}
 	if len(acks) == 0 {
 		return
@@ -244,6 +243,7 @@ func (c *Controller) OnFeedback(now time.Duration, acks []cc.Ack) {
 			}
 		}
 		c.recv = append(c.recv, recvSample{arrival: a.ArrivalTime, bytes: a.Size})
+		c.recvBytes += a.Size
 		if a.ArrivalTime > latestArrival {
 			latestArrival = a.ArrivalTime
 		}

@@ -109,10 +109,28 @@ type Link struct {
 	capLast time.Duration
 	capInit bool
 
-	// Bottleneck queue.
-	queue      []queued
+	// Bottleneck queue (ring buffer: the hot path never reslices or
+	// reallocates in steady state).
+	queue      pktRing
 	queueBytes int
 	serving    bool
+
+	// inflight holds packets that finished serialization and await their
+	// arrival event. Arrivals are clamped monotonic per link (RLC in-order
+	// delivery), so this is strictly FIFO and one preallocated arrival
+	// callback can pop the head instead of a per-packet closure.
+	inflight pktRing
+
+	// Preallocated event callbacks: scheduling a method value through
+	// sim.At allocates a closure per call, so the three packet-path
+	// callbacks are materialized once per link.
+	serveFn  func() // l.serveNext
+	servedFn func() // head finished serialization
+	arriveFn func() // head of inflight arrives
+
+	// outlierMean caches the profile-derived mean stall spacing so the
+	// resample path does no float division.
+	outlierMean time.Duration
 
 	// Burst-loss (Gilbert) state.
 	inBurst bool
@@ -192,9 +210,71 @@ type queued struct {
 
 func (q queued) ctrl() bool { return q.class == classCtrl }
 
+// pktRing is a FIFO ring buffer of queued packets with power-of-two
+// capacity. Push and pop are O(1) without reslicing, so the bottleneck
+// queue stops shedding its backing array one packet at a time.
+type pktRing struct {
+	buf  []queued
+	head int
+	n    int
+}
+
+func (r *pktRing) len() int { return r.n }
+
+// at returns the i-th element from the head (0 = head) for in-place
+// iteration.
+func (r *pktRing) at(i int) *queued { return &r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+func (r *pktRing) push(q queued) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = q
+	r.n++
+}
+
+// pop removes and returns the head element, zeroing its slot so the ring
+// does not retain packet metas.
+func (r *pktRing) pop() queued {
+	q := r.buf[r.head]
+	r.buf[r.head] = queued{}
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return q
+}
+
+func (r *pktRing) grow() {
+	cap := len(r.buf) * 2
+	if cap == 0 {
+		cap = 16
+	}
+	buf := make([]queued, cap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = *r.at(i)
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// truncate keeps the first n elements, zeroing the rest (used by the stale
+// flush after in-place compaction).
+func (r *pktRing) truncate(n int) {
+	for i := n; i < r.n; i++ {
+		*r.at(i) = queued{}
+	}
+	r.n = n
+}
+
 // New returns a link on the given simulator. machine and state may be nil.
 func New(s *sim.Simulator, prof Profile, machine *cell.Machine, state func(time.Duration) flight.State, rng *rand.Rand) *Link {
-	return &Link{sim: s, prof: prof, rng: rng, machine: machine, state: state}
+	l := &Link{sim: s, prof: prof, rng: rng, machine: machine, state: state}
+	l.serveFn = l.serveNext
+	l.servedFn = l.served
+	l.arriveFn = l.arrive
+	if prof.AltOutlierRate > 0 {
+		l.outlierMean = time.Duration(float64(time.Second) / prof.AltOutlierRate)
+	}
+	return l
 }
 
 // SetFaults attaches a scripted outage line (may be nil) and the
@@ -218,9 +298,29 @@ func (l *Link) SetTracer(tr *obs.Tracer, dir obs.Dir) {
 	l.traceDir = dir
 }
 
-// Capacity returns the current effective capacity in bits/s (before
-// handover degradation).
-func (l *Link) Capacity() float64 { return l.capacity(l.sim.Now()) }
+// Capacity returns the link capacity in bits/s as of the most recently
+// advanced point of the fluctuation process (before handover degradation).
+//
+// Capacity is a pure observation: it never draws from the link RNG and
+// never advances the Ornstein–Uhlenbeck state, so observing a link mid-run
+// cannot perturb the capacity realization (the "observation never draws
+// randomness" invariant). The process itself advances only on the packet
+// path, via capacity(now).
+func (l *Link) Capacity() float64 { return l.peekCapacity() }
+
+// peekCapacity computes the capacity at the current OU deviation without
+// mutating any state. Before the first packet has advanced the process it
+// reports the profile mean.
+func (l *Link) peekCapacity() float64 {
+	c := l.prof.MeanCapacity
+	if l.capInit {
+		c *= 1 + l.capDev
+	}
+	if c < l.prof.MinCapacity {
+		c = l.prof.MinCapacity
+	}
+	return c
+}
 
 // capacity advances the OU fluctuation to now and returns the raw capacity.
 func (l *Link) capacity(now time.Duration) float64 {
@@ -364,7 +464,7 @@ func (l *Link) send(meta any, size int, class packetClass) {
 		}
 		return
 	}
-	l.queue = append(l.queue, queued{meta: meta, size: size, sentAt: now, class: class, id: id})
+	l.queue.push(queued{meta: meta, size: size, sentAt: now, class: class, id: id})
 	if class == classCtrl {
 		l.ctrlQueueBytes += size
 	} else {
@@ -382,8 +482,8 @@ func (l *Link) QueueBytes() int { return l.queueBytes + l.ctrlQueueBytes }
 // QueuedPackets returns the packets waiting in the bottleneck queue,
 // media and control planes separately (RTX is reported by RtxQueued).
 func (l *Link) QueuedPackets() (media, ctrl int) {
-	for _, p := range l.queue {
-		switch p.class {
+	for i := 0; i < l.queue.len(); i++ {
+		switch l.queue.at(i).class {
 		case classCtrl:
 			ctrl++
 		case classMedia:
@@ -396,8 +496,8 @@ func (l *Link) QueuedPackets() (media, ctrl int) {
 // RtxQueued returns the retransmissions waiting in the bottleneck queue.
 func (l *Link) RtxQueued() int {
 	n := 0
-	for _, p := range l.queue {
-		if p.class == classRTX {
+	for i := 0; i < l.queue.len(); i++ {
+		if l.queue.at(i).class == classRTX {
 			n++
 		}
 	}
@@ -416,8 +516,31 @@ func (l *Link) RtxInFlight() int { return l.rtxInFlight }
 // (at the profile's MinCapacity, or 1% of MeanCapacity if unset) so an
 // interrupted link reports a large-but-finite backlog instead of dividing
 // by zero.
+//
+// Like Capacity, QueueDelay is a pure observation: it reads the capacity
+// realization at its most recently advanced point without drawing
+// randomness, so sampling it mid-run leaves the run byte-identical.
 func (l *Link) QueueDelay() time.Duration {
-	c := l.effectiveCapacity(l.sim.Now())
+	c := l.peekCapacity()
+	if l.machine != nil {
+		c *= l.machine.RadioDegradation(l.sim.Now())
+	}
+	return l.queueDelayAt(c)
+}
+
+// SampleQueueDelay is the advancing variant of QueueDelay: it steps the
+// capacity fluctuation to now (drawing from the link RNG) before computing
+// the drain time, exactly as every packet service does. It exists for
+// in-run samplers that are part of the simulated system — core's fault
+// recovery probe uses it so the capacity realization of fault campaigns
+// (and their golden traces) is unchanged from when QueueDelay itself
+// advanced the process. External observers must use QueueDelay.
+func (l *Link) SampleQueueDelay() time.Duration {
+	return l.queueDelayAt(l.effectiveCapacity(l.sim.Now()))
+}
+
+// queueDelayAt computes the floored drain-time estimate at capacity c.
+func (l *Link) queueDelayAt(c float64) time.Duration {
 	floor := l.prof.MinCapacity
 	if floor <= 0 {
 		floor = 0.01 * l.prof.MeanCapacity
@@ -434,9 +557,7 @@ func (l *Link) QueueDelay() time.Duration {
 // dequeueHead removes the head packet and returns it, keeping the per-plane
 // byte accounting straight.
 func (l *Link) dequeueHead() queued {
-	head := l.queue[0]
-	l.queue[0] = queued{}
-	l.queue = l.queue[1:]
+	head := l.queue.pop()
 	if head.ctrl() {
 		l.ctrlQueueBytes -= head.size
 	} else {
@@ -473,7 +594,7 @@ func (l *Link) interruption(now time.Duration) (resume time.Duration, down bool)
 // interrupted link schedules exactly one resume event at the end of the
 // interruption — no polling while the radio is dead.
 func (l *Link) serveNext() {
-	if len(l.queue) == 0 {
+	if l.queue.len() == 0 {
 		l.serving = false
 		return
 	}
@@ -489,7 +610,7 @@ func (l *Link) serveNext() {
 			}
 		}
 		l.pendingFlush = l.flushStale
-		l.sim.At(resume, l.serveNext)
+		l.sim.At(resume, l.serveFn)
 		return
 	}
 	if l.inOutage {
@@ -504,7 +625,7 @@ func (l *Link) serveNext() {
 		// before serving (see SetFaults).
 		l.pendingFlush = false
 		l.dropStaleQueue(now)
-		if len(l.queue) == 0 {
+		if l.queue.len() == 0 {
 			l.serving = false
 			return
 		}
@@ -514,15 +635,15 @@ func (l *Link) serveNext() {
 	if c <= 0 {
 		// Degraded to nothing outside any interruption window (only a
 		// pathological profile gets here): retry shortly.
-		l.sim.After(5*time.Millisecond, l.serveNext)
+		l.sim.After(5*time.Millisecond, l.serveFn)
 		return
 	}
 	l.codel(now)
-	if len(l.queue) == 0 {
+	if l.queue.len() == 0 {
 		l.serving = false
 		return
 	}
-	pkt := l.queue[0]
+	pkt := l.queue.at(0)
 	ser := time.Duration(float64(pkt.size*8) / c * float64(time.Second))
 	// HARQ/RLC retransmission pile-up at altitude: the radio stalls for a
 	// while, and RLC's in-order delivery stalls everything behind it too
@@ -532,10 +653,14 @@ func (l *Link) serveNext() {
 	if l.outlierStall(now) {
 		ser += time.Duration(100+l.rng.Float64()*900) * time.Millisecond
 	}
-	l.sim.After(ser, func() {
-		l.deliver(l.dequeueHead())
-		l.serveNext()
-	})
+	l.sim.After(ser, l.servedFn)
+}
+
+// served runs when the head-of-line packet finishes serialization: it moves
+// the packet to the propagation stage and serves the next one.
+func (l *Link) served() {
+	l.deliver(l.dequeueHead())
+	l.serveNext()
 }
 
 // codel applies the CoDel control law at dequeue time: once the head-of-
@@ -555,10 +680,10 @@ func (l *Link) codel(now time.Duration) {
 		interval = 100 * time.Millisecond
 	}
 	sojourn := func() (time.Duration, bool) {
-		if len(l.queue) == 0 {
+		if l.queue.len() == 0 {
 			return 0, false
 		}
-		return now - l.queue[0].sentAt, true
+		return now - l.queue.at(0).sentAt, true
 	}
 	s, ok := sojourn()
 	if !ok || s < target {
@@ -622,8 +747,7 @@ func (l *Link) outlierStall(now time.Duration) bool {
 		return false
 	}
 	if l.nextOutlierIn <= 0 {
-		mean := time.Duration(float64(time.Second) / l.prof.AltOutlierRate)
-		l.nextOutlierIn = time.Duration(l.rng.ExpFloat64() * float64(mean))
+		l.nextOutlierIn = time.Duration(l.rng.ExpFloat64() * float64(l.outlierMean))
 	}
 	l.nextOutlierIn -= now - l.lastOutlierAt
 	l.lastOutlierAt = now
@@ -638,8 +762,9 @@ func (l *Link) outlierStall(now time.Duration) bool {
 // counts in StaleDrops (reported as DropStale); stale control folds into
 // CtrlLost like other control-plane losses.
 func (l *Link) dropStaleQueue(now time.Duration) {
-	keep := l.queue[:0]
-	for _, pkt := range l.queue {
+	w := 0
+	for i := 0; i < l.queue.len(); i++ {
+		pkt := *l.queue.at(i)
 		if now-pkt.sentAt > l.staleAfter {
 			if l.trace != nil {
 				l.trace.Emit(obs.Event{T: now, Kind: obs.KindDrop, Dir: l.traceDir, Flags: pkt.class.flags(), Seq: pkt.id, Aux: int64(DropStale)})
@@ -662,17 +787,18 @@ func (l *Link) dropStaleQueue(now time.Duration) {
 			}
 			continue
 		}
-		keep = append(keep, pkt)
+		*l.queue.at(w) = pkt
+		w++
 	}
-	for i := len(keep); i < len(l.queue); i++ {
-		l.queue[i] = queued{} // release dropped metas
-	}
-	l.queue = keep
+	l.queue.truncate(w) // releases dropped metas
 }
 
 // deliver schedules the packet's arrival after propagation delay and
 // per-packet jitter. Arrivals are clamped monotonic per link: RLC delivers
-// in order within the bearer, so jitter widens gaps but never reorders.
+// in order within the bearer, so jitter widens gaps but never reorders —
+// which also means in-flight packets form a strict FIFO, and the single
+// preallocated arrival callback can pop the inflight ring instead of every
+// packet carrying its own closure.
 func (l *Link) deliver(pkt queued) {
 	delay := l.prof.BaseOWD
 	if l.prof.JitterSigma > 0 {
@@ -692,23 +818,28 @@ func (l *Link) deliver(pkt queued) {
 	default:
 		l.inFlight++
 	}
-	l.sim.At(at, func() {
-		switch pkt.class {
-		case classCtrl:
-			l.ctrlInFlight--
-			l.CtrlDelivered++
-		case classRTX:
-			l.rtxInFlight--
-			l.RtxDelivered++
-		default:
-			l.inFlight--
-			l.Delivered++
-		}
-		now := l.sim.Now()
-		if l.trace != nil {
-			l.trace.Emit(obs.Event{T: now, Kind: obs.KindRecv, Dir: l.traceDir, Flags: pkt.class.flags(),
-				Seq: pkt.id, Aux: int64(pkt.size), V: float64(now-pkt.sentAt) / float64(time.Millisecond)})
-		}
-		l.Deliver(pkt.meta, pkt.size, pkt.sentAt, now)
-	})
+	l.inflight.push(pkt)
+	l.sim.At(at, l.arriveFn)
+}
+
+// arrive completes delivery of the oldest in-flight packet.
+func (l *Link) arrive() {
+	pkt := l.inflight.pop()
+	switch pkt.class {
+	case classCtrl:
+		l.ctrlInFlight--
+		l.CtrlDelivered++
+	case classRTX:
+		l.rtxInFlight--
+		l.RtxDelivered++
+	default:
+		l.inFlight--
+		l.Delivered++
+	}
+	now := l.sim.Now()
+	if l.trace != nil {
+		l.trace.Emit(obs.Event{T: now, Kind: obs.KindRecv, Dir: l.traceDir, Flags: pkt.class.flags(),
+			Seq: pkt.id, Aux: int64(pkt.size), V: float64(now-pkt.sentAt) / float64(time.Millisecond)})
+	}
+	l.Deliver(pkt.meta, pkt.size, pkt.sentAt, now)
 }

@@ -36,7 +36,12 @@ func TestCapacityFluctuatesWithinBounds(t *testing.T) {
 	min, max := p.MeanCapacity, p.MeanCapacity
 	for i := 0; i < 10000; i++ {
 		s.RunUntil(time.Duration(i) * 100 * time.Millisecond)
-		c := l.Capacity()
+		// The exported Capacity is a pure peek now; step the fluctuation
+		// explicitly, as packet service does, to exercise the OU process.
+		c := l.capacity(s.Now())
+		if peek := l.Capacity(); peek != c {
+			t.Fatalf("Capacity() = %v right after advancing to %v", peek, c)
+		}
 		if c < min {
 			min = c
 		}

@@ -72,7 +72,17 @@ func (p *Packetizer) Packetize(f FrameInfo) []*Packet {
 	if total > 0xFFFF {
 		total = 0xFFFF
 	}
-	pkts := make([]*Packet, 0, total)
+	// Arena allocation: one backing array each for the packets, the
+	// pointer slice, the extension descriptors and the payload/extension
+	// bytes, instead of ~5 small allocations per packet. The packets stay
+	// independently usable — slices only share backing storage, and the
+	// per-packet Extensions slice is capacity-clamped so appending an
+	// extension later copies out instead of clobbering a neighbor.
+	pkts := make([]*Packet, total)
+	backing := make([]Packet, total)
+	exts := make([]Extension, total)
+	const perPkt = payloadMetaSize + 2 // frame meta + transport-seq payload
+	buf := make([]byte, total*perPkt)
 	remaining := size
 	for i := 0; i < total; i++ {
 		chunk := remaining / (total - i) // even split, deterministic
@@ -83,7 +93,7 @@ func (p *Packetizer) Packetize(f FrameInfo) []*Packet {
 		if chunk < payloadMetaSize {
 			chunk = payloadMetaSize
 		}
-		meta := make([]byte, payloadMetaSize)
+		meta := buf[i*perPkt : i*perPkt+payloadMetaSize : i*perPkt+payloadMetaSize]
 		binary.BigEndian.PutUint32(meta[0:], f.Num)
 		binary.BigEndian.PutUint16(meta[4:], uint16(i))
 		binary.BigEndian.PutUint16(meta[6:], uint16(total))
@@ -91,21 +101,25 @@ func (p *Packetizer) Packetize(f FrameInfo) []*Packet {
 			meta[8] = flagKeyframe
 		}
 		binary.BigEndian.PutUint64(meta[12:], uint64(f.EncodeTime))
-		pkt := &Packet{
+		tseqPayload := buf[i*perPkt+payloadMetaSize : (i+1)*perPkt : (i+1)*perPkt]
+		binary.BigEndian.PutUint16(tseqPayload, p.tseq)
+		exts[i] = Extension{ID: ExtensionIDTransportSeq, Payload: tseqPayload}
+		pkt := &backing[i]
+		*pkt = Packet{
 			Header: Header{
 				Marker:         i == total-1,
 				PayloadType:    p.PayloadType,
 				SequenceNumber: p.seq,
 				Timestamp:      f.RTPTime,
 				SSRC:           p.SSRC,
+				Extensions:     exts[i : i+1 : i+1],
 			},
 			Payload:           meta,
 			VirtualPayloadLen: chunk - payloadMetaSize,
 		}
-		pkt.Header.SetTransportSeq(p.tseq)
 		p.seq++
 		p.tseq++
-		pkts = append(pkts, pkt)
+		pkts[i] = pkt
 	}
 	return pkts
 }
@@ -151,9 +165,26 @@ type FrameState struct {
 	// retransmission (set by the player when it ingests an RTX repair).
 	Repaired bool
 
-	// got tracks which packet indices have arrived, so retransmissions
+	// got tracks which packet indices have arrived (a bitset sized from
+	// Total, grown only for malformed indices), so retransmissions
 	// answering a spurious NACK cannot double-count toward Complete.
-	got map[uint16]bool
+	got []uint64
+}
+
+// seen reports whether index i has arrived.
+func (f *FrameState) seen(i uint16) bool {
+	w := int(i) / 64
+	return w < len(f.got) && f.got[w]&(1<<(uint(i)%64)) != 0
+}
+
+// mark records the arrival of index i, growing the bitset if a malformed
+// packet carries an index beyond the frame's advertised Total.
+func (f *FrameState) mark(i uint16) {
+	w := int(i) / 64
+	for w >= len(f.got) {
+		f.got = append(f.got, 0)
+	}
+	f.got[w] |= 1 << (uint(i) % 64)
 }
 
 // Complete reports whether every packet of the frame has arrived.
@@ -204,14 +235,14 @@ func (d *Depacketizer) Push(pkt *Packet, at time.Duration) (*FrameState, error) 
 			Keyframe:     meta.Keyframe,
 			Total:        int(meta.Total),
 			FirstArrival: at,
-			got:          make(map[uint16]bool),
+			got:          make([]uint64, (int(meta.Total)+63)/64),
 		}
 		d.frames[meta.FrameNum] = fs
 	}
-	if fs.got[meta.Index] {
+	if fs.seen(meta.Index) {
 		return fs, ErrDuplicate
 	}
-	fs.got[meta.Index] = true
+	fs.mark(meta.Index)
 	fs.Received++
 	fs.Bytes += pkt.MarshalSize()
 	if at > fs.LastArrival {

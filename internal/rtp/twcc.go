@@ -225,7 +225,11 @@ func (f *TWCC) Unmarshal(buf []byte) error {
 	}
 
 	// Decode deltas and reconstruct arrival times.
-	f.Packets = f.Packets[:0]
+	if cap(f.Packets) < count {
+		f.Packets = make([]Arrival, 0, count)
+	} else {
+		f.Packets = f.Packets[:0]
+	}
 	at := refTime
 	for _, s := range syms {
 		switch s {
@@ -259,11 +263,18 @@ type TWCCRecorder struct {
 	SenderSSRC uint32
 	MediaSSRC  uint32
 
-	started  bool
-	nextSeq  uint16 // first sequence number of the next feedback range
-	arrivals map[uint16]time.Duration
-	lastSeq  uint16 // highest sequence number seen (unwrapped ordering)
-	fbCount  uint8
+	started bool
+	nextSeq uint16 // first sequence number of the next feedback range
+	lastSeq uint16 // highest sequence number seen (unwrapped ordering)
+	fbCount uint8
+
+	// arrivals is a direct-indexed table over the full 16-bit sequence
+	// space with an occupancy bitset, replacing a map on the per-packet
+	// path. Slots are cleared as ranges flush, so a sequence number reused
+	// after wrap always lands on an empty slot. pending counts set bits.
+	arrivals [1 << 16]time.Duration
+	have     [1 << 16 / 64]uint64
+	pending  int
 }
 
 // NewTWCCRecorder returns a recorder producing feedback with the given SSRCs.
@@ -271,7 +282,6 @@ func NewTWCCRecorder(senderSSRC, mediaSSRC uint32) *TWCCRecorder {
 	return &TWCCRecorder{
 		SenderSSRC: senderSSRC,
 		MediaSSRC:  mediaSSRC,
-		arrivals:   make(map[uint16]time.Duration),
 	}
 }
 
@@ -293,8 +303,10 @@ func (r *TWCCRecorder) Record(seq uint16, at time.Duration) {
 	} else if seqLess(r.lastSeq, seq) {
 		r.lastSeq = seq
 	}
-	if _, dup := r.arrivals[seq]; !dup {
+	if w, b := seq/64, uint64(1)<<(seq%64); r.have[w]&b == 0 {
+		r.have[w] |= b
 		r.arrivals[seq] = at
+		r.pending++
 	}
 }
 
@@ -305,7 +317,7 @@ func (r *TWCCRecorder) Flush() *TWCC {
 		return nil
 	}
 	n := int(r.lastSeq-r.nextSeq) + 1
-	if n <= 0 || len(r.arrivals) == 0 {
+	if n <= 0 || r.pending == 0 {
 		return nil
 	}
 	fb := &TWCC{
@@ -315,11 +327,13 @@ func (r *TWCCRecorder) Flush() *TWCC {
 		FbPktCount: r.fbCount,
 	}
 	r.fbCount++
+	fb.Packets = make([]Arrival, 0, n)
 	seq := r.nextSeq
 	for i := 0; i < n; i++ {
-		if at, ok := r.arrivals[seq]; ok {
-			fb.Packets = append(fb.Packets, Arrival{Received: true, At: at})
-			delete(r.arrivals, seq)
+		if w, b := seq/64, uint64(1)<<(seq%64); r.have[w]&b != 0 {
+			fb.Packets = append(fb.Packets, Arrival{Received: true, At: r.arrivals[seq]})
+			r.have[w] &^= b
+			r.pending--
 		} else {
 			fb.Packets = append(fb.Packets, Arrival{})
 		}

@@ -5,30 +5,67 @@
 // executed in order. Determinism is guaranteed by (a) a stable tie-break on
 // the scheduling sequence number and (b) named random streams derived from a
 // single master seed, so a run is a pure function of (Config, Seed).
+//
+// The event loop is the hot path of every campaign, so it avoids steady-state
+// allocation: fired and stopped timers are recycled through a free list, and
+// the pending set is a hand-rolled binary heap (no container/heap interface
+// dispatch). Because (at, seq) is a total order over timers, the pop sequence
+// is the sorted order regardless of heap internals — the pooling and the
+// custom heap cannot change event ordering.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"time"
 )
 
+// Timer index sentinels: a non-negative index means the timer sits in the
+// event heap; timerFiring marks a popped timer whose callback is pending or
+// running; timerFree marks a recycled timer waiting on the free list.
+const (
+	timerFiring = -1
+	timerFree   = -2
+)
+
 // Timer is a handle to a scheduled event. Stopping a Timer prevents its
 // callback from firing if it has not fired yet.
+//
+// A Timer handle is owned by its creator only until the callback has run (or
+// Stop is called): after that the simulator recycles the Timer for a future
+// event, and a retained handle goes stale. Calling Stop on a stale handle
+// that has not yet been reused is a safe no-op; retaining a handle
+// indefinitely and stopping it after the simulator has reused it is a logic
+// error. No code in this repository retains fired timers (sim.Task replaces
+// its handle on every firing).
 type Timer struct {
 	at      time.Duration
 	seq     uint64
 	fn      func()
+	owner   *Simulator
 	stopped bool
-	index   int // heap index, -1 once popped
+	index   int   // heap index; timerFiring once popped, timerFree once recycled
+	id      int32 // slot in the owner's timer registry, fixed for life
 }
 
 // Stop cancels the timer. It is safe to call multiple times and after the
-// timer has fired.
+// timer has fired (as long as the handle has not been recycled, see the type
+// comment). A pending timer is removed from the event heap immediately, so
+// cancelled events neither occupy heap space nor count toward Pending.
 func (t *Timer) Stop() {
-	if t != nil {
+	if t == nil {
+		return
+	}
+	if t.index >= 0 {
+		t.stopped = true
+		t.owner.removeTimer(t)
+		t.owner.release(t)
+		return
+	}
+	if t.index == timerFiring {
+		// Popped but not yet executed (or mid-callback): mark it so the
+		// event loop discards it without firing.
 		t.stopped = true
 	}
 }
@@ -39,39 +76,36 @@ func (t *Timer) Stopped() bool { return t != nil && t.stopped }
 // When returns the virtual time the timer is scheduled for.
 func (t *Timer) When() time.Duration { return t.at }
 
-type eventHeap []*Timer
+// heapEntry is one pending event in the heap. The ordering key (at, seq)
+// is stored inline so comparisons touch only the contiguous heap slice —
+// no pointer chase into the Timer — and the timer is referenced by its
+// registry id rather than a pointer, so the heap slice is pointer-free:
+// sifting moves entries without GC write barriers and the collector never
+// scans the event set. Both matter on a loop that runs millions of
+// push/pop cycles per wall second.
+type heapEntry struct {
+	at  time.Duration
+	seq uint64
+	id  int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// entryLess orders events by firing time, tie-broken by scheduling
+// sequence. seq is unique per event, so this is a total order — and a
+// total order means any correct heap pops the identical sequence, so the
+// heap layout below (4-ary, hole-based sifting) cannot affect determinism.
+func entryLess(a, b *heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
+	return a.seq < b.seq
 }
 
 // Simulator owns virtual time and the pending event set.
 type Simulator struct {
 	now     time.Duration
-	events  eventHeap
+	events  []heapEntry // 4-ary min-heap ordered by entryLess
+	timers  []*Timer    // registry: timer id → timer, grows with peak concurrency
+	free    []*Timer    // recycled timers
 	seq     uint64
 	seed    int64
 	streams map[string]*rand.Rand
@@ -115,9 +149,19 @@ func (s *Simulator) At(at time.Duration, fn func()) *Timer {
 	if at < s.now {
 		at = s.now
 	}
-	t := &Timer{at: at, seq: s.seq, fn: fn}
+	var t *Timer
+	if n := len(s.free); n > 0 {
+		t = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		t.at, t.seq, t.fn = at, s.seq, fn
+		t.stopped = false
+	} else {
+		t = &Timer{at: at, seq: s.seq, fn: fn, owner: s, id: int32(len(s.timers))}
+		s.timers = append(s.timers, t)
+	}
 	s.seq++
-	heap.Push(&s.events, t)
+	s.heapPush(t)
 	return t
 }
 
@@ -126,11 +170,110 @@ func (s *Simulator) After(d time.Duration, fn func()) *Timer {
 	return s.At(s.now+d, fn)
 }
 
+// release returns a timer to the free list. The caller must have detached it
+// from the heap already. The stopped flag survives until the handle is
+// reused, so Stopped() keeps answering truthfully on a stale handle.
+func (s *Simulator) release(t *Timer) {
+	t.fn = nil
+	t.index = timerFree
+	s.free = append(s.free, t)
+}
+
+// The heap is 4-ary: children of i are 4i+1..4i+4. Half the depth of a
+// binary heap, and the four children share cache lines, which wins for the
+// pop-heavy workload of a discrete-event loop.
+const heapArity = 4
+
+// heapPush inserts t's entry into the event heap (sift-up with a hole).
+func (s *Simulator) heapPush(t *Timer) {
+	s.events = append(s.events, heapEntry{})
+	s.siftUp(heapEntry{at: t.at, seq: t.seq, id: t.id}, len(s.events)-1)
+}
+
+// heapPop removes and returns the earliest timer.
+func (s *Simulator) heapPop() *Timer {
+	h := s.events
+	top := s.timers[h[0].id]
+	top.index = timerFiring
+	n := len(h) - 1
+	last := h[n]
+	s.events = h[:n]
+	if n > 0 {
+		s.siftDown(last, 0)
+	}
+	return top
+}
+
+// removeTimer deletes a pending timer from an arbitrary heap position.
+func (s *Simulator) removeTimer(t *Timer) {
+	i := t.index
+	t.index = timerFiring
+	h := s.events
+	n := len(h) - 1
+	last := h[n]
+	s.events = h[:n]
+	if i == n {
+		return
+	}
+	// Re-seat the displaced last element: it may need to move either way.
+	s.siftDown(last, i)
+	if s.timers[last.id].index == i {
+		s.siftUp(last, i)
+	}
+}
+
+// siftDown seats e at or below position i, maintaining the heap order.
+func (s *Simulator) siftDown(e heapEntry, i int) {
+	h := s.events
+	n := len(h)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		c := first
+		for j := first + 1; j < end; j++ {
+			if entryLess(&h[j], &h[c]) {
+				c = j
+			}
+		}
+		if !entryLess(&h[c], &e) {
+			break
+		}
+		h[i] = h[c]
+		s.timers[h[i].id].index = i
+		i = c
+	}
+	h[i] = e
+	s.timers[e.id].index = i
+}
+
+// siftUp seats e at or above position i, maintaining the heap order.
+func (s *Simulator) siftUp(e heapEntry, i int) {
+	h := s.events
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !entryLess(&e, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		s.timers[h[i].id].index = i
+		i = p
+	}
+	h[i] = e
+	s.timers[e.id].index = i
+}
+
 // Task is a handle to a periodic task.
 type Task struct {
 	sim      *Simulator
 	interval time.Duration
 	fn       func()
+	fireFn   func() // preallocated t.fire closure, one per task
 	timer    *Timer
 	stopped  bool
 }
@@ -152,7 +295,7 @@ func (t *Task) fire() {
 	if t.stopped { // fn may stop the task
 		return
 	}
-	t.timer = t.sim.After(t.interval, t.fire)
+	t.timer = t.sim.After(t.interval, t.fireFn)
 }
 
 // Every schedules fn to run first at start and then every interval until the
@@ -162,29 +305,35 @@ func (s *Simulator) Every(start, interval time.Duration, fn func()) *Task {
 		panic("sim: Every requires a positive interval")
 	}
 	t := &Task{sim: s, interval: interval, fn: fn}
-	t.timer = s.At(start, t.fire)
+	t.fireFn = t.fire
+	t.timer = s.At(start, t.fireFn)
 	return t
 }
 
 // Stop halts Run/RunUntil after the currently executing event returns.
 func (s *Simulator) Stop() { s.stopped = true }
 
-// Pending returns the number of scheduled (possibly stopped) events.
+// Pending returns the number of live scheduled events. Stopped timers leave
+// the heap immediately, so they are never counted.
 func (s *Simulator) Pending() int { return len(s.events) }
 
 // step executes the next pending event; it reports false when none remain.
 func (s *Simulator) step(limit time.Duration, bounded bool) bool {
 	for len(s.events) > 0 {
-		next := s.events[0]
-		if bounded && next.at > limit {
+		if bounded && s.events[0].at > limit {
 			return false
 		}
-		heap.Pop(&s.events)
+		next := s.heapPop()
 		if next.stopped {
+			// Stopped between pop and execution (only possible from within
+			// the currently running callback chain).
+			s.release(next)
 			continue
 		}
 		s.now = next.at
-		next.fn()
+		fn := next.fn
+		fn()
+		s.release(next)
 		return true
 	}
 	return false

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestStoppedTimersLeaveHeap pins the satellite fix: Stop must remove a
+// pending timer from the event heap immediately, so cancelled events neither
+// linger in the pending set nor distort Pending(). The pre-fix
+// implementation only flagged the timer and left it in the heap until its
+// firing time came around.
+func TestStoppedTimersLeaveHeap(t *testing.T) {
+	s := New(1)
+	var timers []*Timer
+	for i := 0; i < 100; i++ {
+		timers = append(timers, s.At(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	if s.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", s.Pending())
+	}
+	// Stop every other timer, from both ends, to hit arbitrary heap slots.
+	stopped := 0
+	for i := 0; i < len(timers); i += 2 {
+		timers[i].Stop()
+		stopped++
+		if !timers[i].Stopped() {
+			t.Fatalf("timer %d not Stopped after Stop", i)
+		}
+	}
+	if got := s.Pending(); got != 100-stopped {
+		t.Fatalf("Pending = %d after stopping %d, want %d", got, stopped, 100-stopped)
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run", s.Pending())
+	}
+}
+
+// TestStopRandomizedAgainstOracle drives a random schedule of At/Stop
+// operations and checks the fired set and order against a straightforward
+// oracle: fired events must be exactly the never-stopped ones, in (at, seq)
+// order.
+func TestStopRandomizedAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		s := New(int64(trial))
+		type ev struct {
+			id      int
+			at      time.Duration
+			stopped bool
+		}
+		var evs []*ev
+		var timers []*Timer
+		var fired []int
+		n := 20 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			e := &ev{id: i, at: time.Duration(rng.Intn(50)) * time.Millisecond}
+			evs = append(evs, e)
+			id := e.id
+			timers = append(timers, s.At(e.at, func() { fired = append(fired, id) }))
+		}
+		for i := range timers {
+			if rng.Intn(3) == 0 {
+				timers[i].Stop()
+				evs[i].stopped = true
+			}
+		}
+		live := 0
+		for _, e := range evs {
+			if !e.stopped {
+				live++
+			}
+		}
+		if s.Pending() != live {
+			t.Fatalf("trial %d: Pending = %d, want %d live", trial, s.Pending(), live)
+		}
+		s.Run()
+		// Oracle order: stable sort by at (seq order is insertion order,
+		// which a stable sort preserves).
+		var want []int
+		for ms := time.Duration(0); ms <= 50*time.Millisecond; ms += time.Millisecond {
+			for _, e := range evs {
+				if !e.stopped && e.at == ms {
+					want = append(want, e.id)
+				}
+			}
+		}
+		if len(fired) != len(want) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("trial %d: fired[%d] = %d, want %d", trial, i, fired[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTimerPoolReuse checks the free-list recycling contract: a fired
+// timer's storage is reused by a later At, and a handle stays truthful
+// about Stopped until that reuse.
+func TestTimerPoolReuse(t *testing.T) {
+	s := New(1)
+	t1 := s.At(time.Millisecond, func() {})
+	s.Run()
+	if t1.Stopped() {
+		t.Fatal("fired timer reads as stopped")
+	}
+	t2 := s.At(2*time.Millisecond, func() {})
+	if t1 != t2 {
+		t.Fatalf("expected the fired timer to be recycled (pool broken)")
+	}
+	t2.Stop()
+	if !t2.Stopped() {
+		t.Fatal("Stopped() = false after Stop on recycled timer")
+	}
+	// The stopped flag must be cleared again on the next reuse.
+	t3 := s.At(3*time.Millisecond, func() {})
+	if t3 != t2 {
+		t.Fatal("expected the stopped timer to be recycled")
+	}
+	if t3.Stopped() {
+		t.Fatal("recycled timer inherited the stopped flag")
+	}
+	s.Run()
+}
+
+// TestEventLoopAllocationFree verifies the tentpole claim that the
+// steady-state event loop does not allocate: a ping-pong of self-
+// rescheduling events runs with zero allocations per event once the pool
+// and heap are warm.
+func TestEventLoopAllocationFree(t *testing.T) {
+	s := New(1)
+	count := 0
+	var fn func()
+	fn = func() {
+		count++
+		if count < 10000 {
+			s.After(time.Microsecond, fn)
+		}
+	}
+	s.After(0, fn)
+	s.RunUntil(time.Millisecond) // warm the pool
+	allocs := testing.AllocsPerRun(5, func() {
+		count = 0
+		s.After(time.Microsecond, fn)
+		s.Run()
+	})
+	if allocs > 1 { // one for the testing harness's own bookkeeping slack
+		t.Errorf("steady-state event loop allocates %.1f objects per drain", allocs)
+	}
+}

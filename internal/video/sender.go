@@ -54,11 +54,18 @@ type Sender struct {
 	Transmit func(p *rtp.Packet, size int)
 
 	// sent records in-flight packets for feedback translation, keyed by
-	// both sequence spaces.
-	byTransport map[uint16]SentRecord
-	bySeq       map[uint16]SentRecord
+	// both sequence spaces. Each table is a direct-mapped window over the
+	// last sentWindow sequence numbers: slot seq&sentMask holds the record
+	// whose key matches, newer sequences overwrite slots one full window
+	// later, and lookups validate the stored key. This keeps the
+	// per-packet cost at two array stores (no map hashing, no amortized
+	// trim scans) with the same effect as the old bounded maps: feedback
+	// older than the window misses.
+	byTransport sentTable
+	bySeq       sentTable
 
 	draining bool
+	drainFn  func() // preallocated s.drain closure for pacer wakeups
 	task     *sim.Task
 
 	// frames carries encoder-side per-frame data (rate, complexity) to the
@@ -79,18 +86,34 @@ func NewSender(s *sim.Simulator, cfg SenderConfig, ctrl cc.Controller, rng *rand
 		cfg.MTU = 1200
 	}
 	snd := &Sender{
-		cfg:         cfg,
-		sim:         s,
-		ctrl:        ctrl,
-		enc:         NewEncoder(cfg.Encoder, ctrl.TargetBitrate(0), rng),
-		pkt:         rtp.NewPacketizer(cfg.SSRC, cfg.PayloadType, cfg.MTU),
-		byTransport: make(map[uint16]SentRecord),
-		bySeq:       make(map[uint16]SentRecord),
+		cfg:  cfg,
+		sim:  s,
+		ctrl: ctrl,
+		enc:  NewEncoder(cfg.Encoder, ctrl.TargetBitrate(0), rng),
+		pkt:  rtp.NewPacketizer(cfg.SSRC, cfg.PayloadType, cfg.MTU),
 	}
+	snd.drainFn = snd.drain
 	if qa, ok := ctrl.(cc.QueueAware); ok {
 		qa.SetQueue(&snd.queue)
 	}
 	return snd
+}
+
+// sentTable is a direct-mapped record window (see the Sender field comment).
+// A zero Size marks an empty slot: every sent packet has Size > 0.
+type sentTable struct {
+	recs [sentWindow]SentRecord
+}
+
+// sentWindow bounds how far back feedback can reference a sent packet —
+// two full windows of the old map implementation's prune threshold.
+const (
+	sentWindow = 1 << 14
+	sentMask   = sentWindow - 1
+)
+
+func (t *sentTable) store(key uint16, rec SentRecord) {
+	t.recs[key&sentMask] = rec
 }
 
 // Encoder exposes the encoder (for traces).
@@ -197,7 +220,7 @@ func (s *Sender) drain() {
 			return
 		}
 		if !s.pacer.Idle(now) {
-			s.sim.At(s.pacer.FreeAt(), s.drain)
+			s.sim.At(s.pacer.FreeAt(), s.drainFn)
 			return
 		}
 		s.queue.Pop()
@@ -210,9 +233,8 @@ func (s *Sender) drain() {
 			Size:         it.Size,
 			SendTime:     now,
 		}
-		s.byTransport[tseq] = rec
-		s.bySeq[rec.Seq] = rec
-		s.trimSent(rec.Seq, rec.TransportSeq)
+		s.byTransport.store(tseq, rec)
+		s.bySeq.store(rec.Seq, rec)
 		s.ctrl.OnPacketSent(cc.SentPacket{
 			TransportSeq: tseq,
 			Seq:          rec.Seq,
@@ -225,35 +247,21 @@ func (s *Sender) drain() {
 	}
 }
 
-// trimSent bounds the sent-record maps. When a map exceeds 2^14 entries,
-// records older than 2^13 sequence numbers are dropped, freeing roughly
-// half the map per scan so the cost amortizes to O(1) per packet.
-func (s *Sender) trimSent(seq, tseq uint16) {
-	if len(s.bySeq) > 1<<14 {
-		for k := range s.bySeq {
-			if seq-k > 1<<13 {
-				delete(s.bySeq, k)
-			}
-		}
-	}
-	if len(s.byTransport) > 1<<14 {
-		for k := range s.byTransport {
-			if tseq-k > 1<<13 {
-				delete(s.byTransport, k)
-			}
-		}
-	}
-}
-
 // LookupTransport translates a transport sequence number into its sent
 // record.
 func (s *Sender) LookupTransport(tseq uint16) (SentRecord, bool) {
-	r, ok := s.byTransport[tseq]
-	return r, ok
+	rec := s.byTransport.recs[tseq&sentMask]
+	if rec.Size == 0 || rec.TransportSeq != tseq {
+		return SentRecord{}, false
+	}
+	return rec, true
 }
 
 // LookupSeq translates an RTP sequence number into its sent record.
 func (s *Sender) LookupSeq(seq uint16) (SentRecord, bool) {
-	r, ok := s.bySeq[seq]
-	return r, ok
+	rec := s.bySeq.recs[seq&sentMask]
+	if rec.Size == 0 || rec.Seq != seq {
+		return SentRecord{}, false
+	}
+	return rec, true
 }
