@@ -72,6 +72,7 @@ var registry = []struct {
 	{"ext-mpath", "multipath duplication (§5)", experiments.ExtMultipath},
 	{"robust", "fault injection: outages and graceful degradation", experiments.Robustness},
 	{"repair", "packet-loss repair: NACK/RTX vs PLI-only", experiments.Repair},
+	{"bond", "dual-operator bonding: policies through a primary-path blackout", experiments.Bond},
 }
 
 func main() {
@@ -81,7 +82,9 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"concurrent campaign runs (results are identical at any setting)")
 	faults := flag.String("faults", "",
-		"scripted fault schedule for the robust/repair experiments: \"start+dur\" outages, \"start~dur\" loss fades, e.g. \"45s+2s,70s~80ms/up\"")
+		"scripted fault schedule for the robust/repair/bond experiments: \"start+dur\" outages, \"start~dur\" loss fades, @p1/@p2 path scopes, e.g. \"45s+2s,70s~80ms/up\" or \"45s+2s@p1\"")
+	bondPolicy := flag.String("bond", "",
+		"restrict the bond experiment to one scheduler policy (duplicate, failover, cheapest, spray); empty compares all four")
 	list := flag.Bool("list", false, "list experiment and scenario IDs and exit")
 	scenario := flag.String("scenario", "", "run a named observability scenario instead of experiments")
 	tracePath := flag.String("trace", "", "write the scenario's event trace as JSONL to this file (requires -scenario)")
@@ -163,7 +166,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	o := experiments.Options{Runs: *runs, Seed: *seed, Workers: *workers, FaultSpec: *faults}
+	o := experiments.Options{Runs: *runs, Seed: *seed, Workers: *workers, FaultSpec: *faults, BondPolicy: *bondPolicy}
 	core.ResetStats()
 	benchStart := time.Now()
 	failed := 0

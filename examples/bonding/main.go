@@ -1,0 +1,61 @@
+// A remote pilot cannot reboot the network: when the serving operator's
+// cell drops the link mid-flight, the only fix already in the air is a
+// second operator. This example blacks out the primary operator's path for
+// two seconds mid-run (an operator-side failure, not a coverage hole — the
+// competing operator keeps serving) and compares a single-operator stream
+// against the four bonding scheduler policies riding through it.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"rpivideo"
+)
+
+func main() {
+	windows, err := rpivideo.ParseFaultSchedule("45s+2s@p1")
+	if err != nil {
+		panic(err)
+	}
+	base := rpivideo.Config{
+		Env: rpivideo.Urban, CC: rpivideo.GCC, Seed: 7, Duration: 90 * time.Second,
+		Faults: rpivideo.FaultConfig{
+			Windows:          windows,
+			RLF:              true,
+			Watchdog:         true,
+			KeyframeRecovery: true,
+		},
+	}
+
+	show := func(name string, cfg rpivideo.Config) {
+		r := rpivideo.Run(cfg)
+		var stall time.Duration
+		for _, s := range r.Stalls {
+			stall += s.Duration
+		}
+		line := fmt.Sprintf("%-22s stall %5d ms   skipped %3d", name, stall.Milliseconds(), r.FramesSkipped)
+		if len(r.BondPaths) > 0 {
+			var sent, unique int64
+			for _, p := range r.BondPaths {
+				sent += p.Sent
+				unique += p.Delivered - p.Suppressed
+			}
+			line += fmt.Sprintf("   overhead %.2fx   switches %d   primary down %4.1f s",
+				float64(sent)/float64(unique), r.BondSwitches, r.BondPaths[0].DownMs/1000)
+		}
+		fmt.Println(line)
+	}
+
+	fmt.Println("urban ground GCC, 2 s primary-operator blackout at t=45 s (RLF armed):")
+	show("  single operator", base)
+	for _, p := range []rpivideo.BondPolicy{
+		rpivideo.BondDuplicate, rpivideo.BondFailover, rpivideo.BondCheapest, rpivideo.BondSpray,
+	} {
+		cfg := base
+		cfg.Bond = rpivideo.BondConfig{Policy: p}
+		show("  + "+p.String(), cfg)
+	}
+	fmt.Println("\n(failover parks a hot standby and pays only probe overhead; duplicate")
+	fmt.Println(" buys the same protection with ~2x the radio sends)")
+}

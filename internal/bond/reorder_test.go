@@ -1,0 +1,155 @@
+package bond
+
+import (
+	"testing"
+	"time"
+)
+
+// collect builds a reorder buffer that appends released ext values.
+func collect(deadline time.Duration, capacity int) (*Reorder, *[]int64) {
+	out := &[]int64{}
+	r := NewReorder(deadline, capacity, func(meta interface{}, _ time.Duration) {
+		*out = append(*out, meta.(int64))
+	})
+	return r, out
+}
+
+func insert(r *Reorder, now time.Duration, exts ...int64) {
+	for _, e := range exts {
+		r.Insert(e, e, now)
+	}
+}
+
+// TestReorderInOrder: in-order arrivals pass straight through.
+func TestReorderInOrder(t *testing.T) {
+	r, out := collect(0, 0)
+	insert(r, 0, 10, 11, 12, 13)
+	if len(*out) != 4 || (*out)[0] != 10 || (*out)[3] != 13 || r.Len() != 0 {
+		t.Fatalf("out=%v len=%d", *out, r.Len())
+	}
+}
+
+// TestReorderGapFill: a gap buffers followers until the missing packet
+// arrives, then the whole run releases in order.
+func TestReorderGapFill(t *testing.T) {
+	r, out := collect(0, 0)
+	insert(r, 0, 0, 2, 3, 4)
+	if len(*out) != 1 || r.Len() != 3 {
+		t.Fatalf("gap must hold followers: out=%v buffered=%d", *out, r.Len())
+	}
+	insert(r, time.Millisecond, 1)
+	want := []int64{0, 1, 2, 3, 4}
+	if len(*out) != 5 {
+		t.Fatalf("out=%v want %v", *out, want)
+	}
+	for i, v := range want {
+		if (*out)[i] != v {
+			t.Fatalf("out=%v want %v", *out, want)
+		}
+	}
+}
+
+// TestReorderDeadline: the head-of-line wait is bounded; Tick releases
+// past the gap and the late original is dropped and counted.
+func TestReorderDeadline(t *testing.T) {
+	r, out := collect(60*time.Millisecond, 0)
+	var late []int64
+	r.OnLate = func(ext int64, _ time.Duration) { late = append(late, ext) }
+	insert(r, 0, 0, 2, 3)
+	r.Tick(50 * time.Millisecond)
+	if len(*out) != 1 {
+		t.Fatal("deadline must not fire early")
+	}
+	r.Tick(60 * time.Millisecond)
+	if len(*out) != 3 || r.DeadlineReleases != 1 || r.GapSkipped != 1 {
+		t.Fatalf("deadline release wrong: out=%v releases=%d skipped=%d", *out, r.DeadlineReleases, r.GapSkipped)
+	}
+	// Seq 1's slot is gone: arriving now is a late drop.
+	insert(r, 70*time.Millisecond, 1)
+	if r.Late != 1 || len(late) != 1 || late[0] != 1 || len(*out) != 3 {
+		t.Fatalf("late drop wrong: Late=%d hook=%v", r.Late, late)
+	}
+}
+
+// TestReorderCap: overflow force-releases the oldest run instead of
+// growing without bound.
+func TestReorderCap(t *testing.T) {
+	r, out := collect(time.Hour, 4)
+	insert(r, 0, 0) // next=1
+	for ext := int64(2); ext < 8; ext++ {
+		insert(r, 0, ext)
+	}
+	if r.Len() > 4 {
+		t.Fatalf("cap breached: %d buffered", r.Len())
+	}
+	if r.CapReleases == 0 || len(*out) < 3 {
+		t.Fatalf("cap must force releases: out=%v releases=%d", *out, r.CapReleases)
+	}
+	for i := 1; i < len(*out); i++ {
+		if (*out)[i] <= (*out)[i-1] {
+			t.Fatalf("release order broken: %v", *out)
+		}
+	}
+}
+
+// TestReorderDupAndFlush: duplicates of a buffered packet are absorbed;
+// Flush drains everything at run end.
+func TestReorderDupAndFlush(t *testing.T) {
+	r, out := collect(time.Hour, 0)
+	insert(r, 0, 0, 2, 2, 2)
+	if r.Dups != 2 || r.Len() != 1 {
+		t.Fatalf("dups=%d len=%d", r.Dups, r.Len())
+	}
+	r.Flush(time.Second)
+	if len(*out) != 2 || r.Len() != 0 {
+		t.Fatalf("flush wrong: out=%v", *out)
+	}
+}
+
+// FuzzReorderInsert feeds arbitrary byte-derived sequences of inserts and
+// ticks and checks the buffer's invariants: releases strictly increase,
+// the cap holds, and nothing is both released and still buffered.
+func FuzzReorderInsert(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{5, 4, 3, 2, 1, 0})
+	f.Add([]byte{0, 200, 1, 200, 2, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var released []int64
+		r := NewReorder(60*time.Millisecond, 16, func(meta interface{}, _ time.Duration) {
+			released = append(released, meta.(int64))
+		})
+		now := time.Duration(0)
+		for i, b := range data {
+			switch {
+			case b >= 250: // occasional clock jump past the deadline
+				now += 70 * time.Millisecond
+				r.Tick(now)
+			default:
+				now += time.Millisecond
+				// Small offsets exercise reordering, dups and lateness.
+				ext := int64(i) + int64(b%32) - 16
+				if ext < 0 {
+					ext = -ext
+				}
+				r.Insert(ext, ext, now)
+			}
+			if r.Len() > 16 {
+				t.Fatalf("cap breached: %d", r.Len())
+			}
+		}
+		r.Flush(now)
+		if r.Len() != 0 {
+			t.Fatalf("flush left %d buffered", r.Len())
+		}
+		seen := make(map[int64]bool, len(released))
+		for i, v := range released {
+			if i > 0 && v <= released[i-1] {
+				t.Fatalf("releases not strictly increasing at %d: %v", i, released)
+			}
+			if seen[v] {
+				t.Fatalf("double release of %d", v)
+			}
+			seen[v] = true
+		}
+	})
+}

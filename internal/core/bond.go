@@ -1,0 +1,97 @@
+package core
+
+import (
+	"time"
+
+	"rpivideo/internal/bond"
+	"rpivideo/internal/cell"
+	"rpivideo/internal/fault"
+	"rpivideo/internal/flight"
+	"rpivideo/internal/link"
+	"rpivideo/internal/obs"
+	"rpivideo/internal/sim"
+)
+
+// bondTick is the bond health monitor's (and reorder buffer's) cadence.
+const bondTick = 50 * time.Millisecond
+
+// bondPaths is a bonded run's view of its radio chains: the bond manager,
+// the per-path uplinks (path 0 is the primary chain Run built) and the
+// receiver-side reorder buffer for striping policies (set by runVideo once
+// the player exists).
+type bondPaths struct {
+	mgr     *bond.Manager
+	uplinks [bond.NumPaths]*link.Link
+	reorder *bond.Reorder
+}
+
+// setupBond builds the second radio chain over the competing operator and
+// the bond manager driving both, or returns nil when the run is not
+// bonded. The chain mirrors the primary's construction — same deployment,
+// signal model and handover config family, its own named rng streams
+// ("cell2", "uplink2") — so a bonded run stays a pure function of
+// (Config, Seed). Scripted faults scope per chain: @p1 windows silence
+// only the primary, @p2 only the secondary, unscoped windows (the vehicle
+// sitting in a coverage hole) silence both.
+func setupBond(s *sim.Simulator, cfg Config, res *Result, uplink *link.Link, hoCfg cell.HandoverConfig, stateAt func(time.Duration) flight.State, flushStale bool) *bondPaths {
+	bcfg := cfg.bondConfig()
+	if !bcfg.Enabled() || cfg.Workload != WorkloadVideo {
+		return nil
+	}
+	op2 := cell.P2
+	if cfg.Op == cell.P2 {
+		op2 = cell.P1
+	}
+	rng2 := s.Stream("cell2")
+	bss2 := cell.Deployment(cfg.Env, op2, rng2)
+	model2 := cell.NewSignalModel(cfg.Env, bss2, cell.DefaultSignalConfigFor(cfg.Env), rng2)
+	hoCfg2 := cell.DefaultHandoverConfigFor(cfg.Env)
+	hoCfg2.DAPS = cfg.DAPS
+	hoCfg2.RLF = hoCfg.RLF
+	machine2 := cell.NewMachine(model2, hoCfg2, cfg.Air, rng2)
+	s.Every(0, hoCfg2.MeasurementInterval, func() {
+		machine2.Step(s.Now(), stateAt(s.Now()))
+	})
+	prof2 := link.ProfileFor(cfg.Env, op2)
+	prof2.AQM = cfg.AQM
+	uplink2 := link.New(s, prof2, machine2, stateAt, s.Stream("uplink2"))
+	if res.Trace != nil {
+		machine2.SetTracer(res.Trace, obs.DirUp2)
+		uplink2.SetTracer(res.Trace, obs.DirUp2)
+	}
+	if cfg.Faults.Enabled() {
+		uplink2.SetFaults(fault.NewPathLine(cfg.Faults.Windows, fault.Uplink, fault.PathSecondary), flushStale, cfg.Faults.StaleAfter)
+	}
+
+	bp := &bondPaths{mgr: bond.NewManager(bcfg), uplinks: [bond.NumPaths]*link.Link{uplink, uplink2}}
+	for i := range bp.uplinks {
+		l := bp.uplinks[i]
+		bp.mgr.SetOutageProbe(i, l.Interrupted)
+	}
+	bp.mgr.OnEvent = func(ev bond.Event) {
+		switch ev.Kind {
+		case bond.EventPathDown:
+			res.BondPathDownEvents++
+			if res.Trace != nil {
+				res.Trace.Emit(obs.Event{T: ev.At, Kind: obs.KindPathDown, Seq: int64(ev.Path), Aux: int64(ev.Cause)})
+			}
+		case bond.EventPathUp:
+			res.BondPathUpEvents++
+			if res.Trace != nil {
+				res.Trace.Emit(obs.Event{T: ev.At, Kind: obs.KindPathUp, Seq: int64(ev.Path),
+					V: float64(ev.DownFor) / float64(time.Millisecond)})
+			}
+		case bond.EventFailover:
+			if res.Trace != nil {
+				res.Trace.Emit(obs.Event{T: ev.At, Kind: obs.KindFailover, Seq: int64(ev.From), Aux: int64(ev.To)})
+			}
+		}
+	}
+	s.Every(bondTick, bondTick, func() {
+		bp.mgr.Tick(s.Now())
+		if bp.reorder != nil {
+			bp.reorder.Tick(s.Now())
+		}
+	})
+	return bp
+}

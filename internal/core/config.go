@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"rpivideo/internal/bond"
 	"rpivideo/internal/cell"
 	"rpivideo/internal/fault"
 	"rpivideo/internal/repair"
@@ -113,8 +114,17 @@ type Config struct {
 	AQM bool
 	// Multipath duplicates the stream over both operators' access links
 	// (the multipath-transport reliability idea); the receiver plays the
-	// first copy of each packet.
+	// first copy of each packet. It is the compat alias for
+	// Bond.Policy = bond.PolicyDuplicate.
 	Multipath bool
+
+	// Bond arms dual-operator link bonding (internal/bond): a second radio
+	// chain over the competing operator, a per-path health monitor with
+	// hysteresis, the selected scheduling policy (duplicate, failover,
+	// cheapest or spray) and, for striping policies, a receiver-side
+	// bounded reorder buffer. The zero value disables bonding. Video
+	// workloads only.
+	Bond bond.Config
 
 	// Faults arms deterministic fault injection — scripted coverage
 	// outages, radio-link failures and the graceful-degradation machinery
@@ -127,6 +137,18 @@ type Config struct {
 	// results untouched; set Enabled (zero fields then take the
 	// calibrated defaults via WithDefaults).
 	Repair repair.Config
+}
+
+// bondConfig resolves the effective bonding configuration: Bond wins when
+// armed, otherwise the legacy Multipath flag maps to the duplicate policy.
+func (c Config) bondConfig() bond.Config {
+	if c.Bond.Enabled() {
+		return c.Bond
+	}
+	if c.Multipath {
+		return bond.Config{Policy: bond.PolicyDuplicate}
+	}
+	return bond.Config{}
 }
 
 // watchdogTimeout resolves the feedback-starvation threshold when the

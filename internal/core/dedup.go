@@ -1,29 +1,34 @@
 package core
 
-// multipathDedup suppresses the second copy of each packet on a multipath
+// multipathDedup suppresses the second copy of each packet on a bonded
 // run. RTP sequence numbers are 16-bit and a six-minute flight at campaign
 // bitrates wraps them many times, so deduplication is keyed by the
 // *extended* (unwrapped, 64-bit) sequence: after a wrap, a fresh packet
 // whose 16-bit sequence collides with one from exactly one wrap ago is a
 // new key, not a false duplicate.
 //
-// (The previous implementation keyed the seen-set by the raw uint16 and
-// pruned by uint16 distance from the highest sequence; entries exactly one
-// wrap old sat at distance ≡ 0 and were never evicted, so the first fresh
-// copy after a wrap was discarded as a MultipathDuplicate and the map grew
-// without bound.)
+// Memory is bounded eagerly: an eviction cursor trails the highest
+// extended sequence by dedupHorizon, and every note advances it, deleting
+// the aged keys as it goes. The seen-set therefore never holds more than
+// dedupHorizon+1 entries — a hard bound, amortized O(1) per packet —
+// where the previous implementation only pruned when the map topped a
+// threshold and rescanned all of it (an O(n) stall on the packet path,
+// and a map that stayed at the threshold watermark forever). A copy
+// arriving from *below* the cursor is beyond any plausible reorder window
+// and reports as a duplicate: the player would discard it anyway, and
+// answering fresh would double-count its slot.
 type multipathDedup struct {
 	started bool
 	highest int64 // extended sequence of the newest packet seen
+	evict   int64 // every key < evict has been evicted
 	seen    map[int64]bool
 }
 
-// dedup window sizing: prune when the seen-set tops pruneAbove entries,
-// evicting everything more than pruneKeep sequences behind the highest.
-const (
-	dedupPruneAbove = 1 << 14
-	dedupPruneKeep  = 1 << 13
-)
+// dedupHorizon is the reorder window, in sequences, that deduplication
+// remembers below the highest sequence seen. At campaign packet rates
+// (~2-3k pkt/s) 1<<13 sequences is several seconds — far beyond any path
+// skew the bonded chains can produce.
+const dedupHorizon = 1 << 13
 
 func newMultipathDedup() *multipathDedup {
 	return &multipathDedup{seen: make(map[int64]bool, 1024)}
@@ -39,34 +44,47 @@ func (d *multipathDedup) extend(seq uint16) int64 {
 	return d.highest + int64(int16(seq-uint16(d.highest)))
 }
 
-// note records ext as seen and keeps highest and the window current.
+// note records ext as seen and advances the eviction cursor to the horizon.
 func (d *multipathDedup) note(ext int64) {
 	d.seen[ext] = true
-	if !d.started || ext > d.highest {
-		d.highest = ext
+	if !d.started {
 		d.started = true
+		d.highest = ext
+		d.evict = ext - dedupHorizon
+	} else if ext > d.highest {
+		d.highest = ext
 	}
-	if len(d.seen) > dedupPruneAbove {
-		for k := range d.seen {
-			if d.highest-k > dedupPruneKeep {
-				delete(d.seen, k)
-			}
-		}
+	for lo := d.highest - dedupHorizon; d.evict < lo; d.evict++ {
+		delete(d.seen, d.evict)
 	}
+}
+
+// DuplicateExt records seq, reporting its extended sequence and whether a
+// copy was already delivered (or its slot already aged past the horizon).
+func (d *multipathDedup) DuplicateExt(seq uint16) (ext int64, dup bool) {
+	ext = d.extend(seq)
+	if d.started && ext < d.evict {
+		return ext, true
+	}
+	if d.seen[ext] {
+		return ext, true
+	}
+	d.note(ext)
+	return ext, false
 }
 
 // Duplicate records seq and reports whether a copy was already delivered.
 func (d *multipathDedup) Duplicate(seq uint16) bool {
-	ext := d.extend(seq)
-	if d.seen[ext] {
-		return true
-	}
-	d.note(ext)
-	return false
+	_, dup := d.DuplicateExt(seq)
+	return dup
 }
 
 // Mark records a sequence delivered through another channel (an RTX repair)
 // so a late path copy is still recognized as a duplicate.
 func (d *multipathDedup) Mark(seq uint16) {
-	d.note(d.extend(seq))
+	ext := d.extend(seq)
+	if d.started && ext < d.evict {
+		return
+	}
+	d.note(ext)
 }

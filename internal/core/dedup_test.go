@@ -20,8 +20,43 @@ func TestDedupSurvivesSeqWrap(t *testing.T) {
 			t.Fatalf("second path copy of packet %d (seq %d) not flagged", i, seq)
 		}
 	}
-	if len(d.seen) > dedupPruneAbove {
-		t.Errorf("seen-set grew to %d entries, prune threshold is %d", len(d.seen), dedupPruneAbove)
+	if len(d.seen) > dedupHorizon+1 {
+		t.Errorf("seen-set grew to %d entries, hard bound is %d", len(d.seen), dedupHorizon+1)
+	}
+}
+
+// TestDedupMemoryHardBound: the eviction cursor keeps the seen-set at the
+// horizon after *every* insert — the bound is a watermark-free invariant,
+// not a prune threshold the map idles at.
+func TestDedupMemoryHardBound(t *testing.T) {
+	d := newMultipathDedup()
+	for i := 0; i < 200_000; i++ {
+		d.Duplicate(uint16(i))
+		if len(d.seen) > dedupHorizon+1 {
+			t.Fatalf("after %d inserts the seen-set holds %d entries, bound is %d",
+				i+1, len(d.seen), dedupHorizon+1)
+		}
+	}
+	if d.evict != d.highest-dedupHorizon {
+		t.Errorf("eviction cursor at %d, want highest-horizon = %d", d.evict, d.highest-dedupHorizon)
+	}
+}
+
+// TestDedupBelowHorizon: a copy older than the horizon reports as a
+// duplicate (its slot is gone either way) and must not resurrect state.
+func TestDedupBelowHorizon(t *testing.T) {
+	d := newMultipathDedup()
+	for i := 0; i < dedupHorizon+1000; i++ {
+		d.Duplicate(uint16(i))
+	}
+	size := len(d.seen)
+	// Sequence 100 is far below the cursor now.
+	if !d.Duplicate(100) {
+		t.Error("a below-horizon copy must report duplicate")
+	}
+	d.Mark(101)
+	if len(d.seen) != size {
+		t.Errorf("below-horizon traffic grew the seen-set: %d -> %d", size, len(d.seen))
 	}
 }
 

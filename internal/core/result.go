@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -94,8 +95,20 @@ type Result struct {
 	RTCPRTTms metrics.Dist
 
 	// MultipathDuplicates counts packets whose duplicate copy arrived after
-	// the first (multipath runs only).
+	// the first (bonded runs only). It is derived: the sum of the per-path
+	// Suppressed counters in BondPaths.
 	MultipathDuplicates int
+
+	// Bonding metrics (bonded runs only; see internal/bond).
+	BondPolicy   string          // scheduling policy name
+	BondPaths    []BondPathStats // per-path accounting, path 0 = primary
+	BondSwitches int             // active-path changes (failover/cheapest)
+	// Health-monitor transitions past the hysteresis.
+	BondPathDownEvents, BondPathUpEvents int
+	// Reorder-buffer outcomes (striping policies only): packets dropped as
+	// too late, and forced releases (deadline or cap) past a gap.
+	BondReorderLate   int
+	BondReorderForced int
 	// AQMDrops counts CoDel head drops on the uplink (AQM runs only).
 	AQMDrops int
 
@@ -141,6 +154,18 @@ type Result struct {
 	// RTX plane counters from the uplink (conservation-checked in
 	// internal/link; surfaced here for experiment shape checks).
 	RtxSent, RtxDelivered, RtxLost, RtxStaleDrops, RtxOverflows int
+}
+
+// BondPathStats is one bonded path's accounting: copies routed to it,
+// delivered over it (probe duplicates included), lost by its links,
+// suppressed at the receiver as duplicates, and how long its health
+// monitor held it down.
+type BondPathStats struct {
+	Sent, Delivered, Lost int64
+	Suppressed            int64
+	DownMs                float64
+	// Up is the path's health state at run end.
+	Up bool
 }
 
 // GoodputMean returns the mean per-second goodput in Mbps.
@@ -196,6 +221,23 @@ func (r *Result) MetricsRegistry() *obs.Registry {
 	reg.Add("rtx_lost", int64(r.RtxLost))
 	reg.Add("rtx_stale_drops", int64(r.RtxStaleDrops))
 	reg.Add("rtx_overflows", int64(r.RtxOverflows))
+	if len(r.BondPaths) > 0 {
+		// Bond keys exist only for bonded runs so single-path campaign
+		// metrics exports stay byte-identical to the calibrated baselines.
+		reg.Add("bond_switches", int64(r.BondSwitches))
+		reg.Add("bond_path_down_events", int64(r.BondPathDownEvents))
+		reg.Add("bond_path_up_events", int64(r.BondPathUpEvents))
+		reg.Add("bond_reorder_late", int64(r.BondReorderLate))
+		reg.Add("bond_reorder_forced", int64(r.BondReorderForced))
+		for i, p := range r.BondPaths {
+			prefix := fmt.Sprintf("bond_path%d_", i)
+			reg.Add(prefix+"sent", p.Sent)
+			reg.Add(prefix+"delivered", p.Delivered)
+			reg.Add(prefix+"lost", p.Lost)
+			reg.Add(prefix+"suppressed", p.Suppressed)
+			reg.SetGauge(prefix+"down_ms", p.DownMs)
+		}
+	}
 
 	reg.SetGauge("post_outage_queue_ms_max", r.PostOutageQueueMs)
 	reg.SetGauge("ramp_up_ms_max", float64(r.RampUpTo25)/float64(time.Millisecond))
@@ -273,6 +315,26 @@ func Merge(results []*Result) *Result {
 		out.JitterMs.AddAll(&r.JitterMs)
 		out.RTCPRTTms.AddAll(&r.RTCPRTTms)
 		out.MultipathDuplicates += r.MultipathDuplicates
+		if r.BondPolicy != "" {
+			out.BondPolicy = r.BondPolicy
+		}
+		out.BondSwitches += r.BondSwitches
+		out.BondPathDownEvents += r.BondPathDownEvents
+		out.BondPathUpEvents += r.BondPathUpEvents
+		out.BondReorderLate += r.BondReorderLate
+		out.BondReorderForced += r.BondReorderForced
+		for i, p := range r.BondPaths {
+			for len(out.BondPaths) <= i {
+				out.BondPaths = append(out.BondPaths, BondPathStats{})
+			}
+			o := &out.BondPaths[i]
+			o.Sent += p.Sent
+			o.Delivered += p.Delivered
+			o.Lost += p.Lost
+			o.Suppressed += p.Suppressed
+			o.DownMs += p.DownMs
+			o.Up = p.Up
+		}
 		out.AQMDrops += r.AQMDrops
 		out.ScreamLosses += r.ScreamLosses
 		out.ScreamLossesInBand += r.ScreamLossesInBand

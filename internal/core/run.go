@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"rpivideo/internal/bond"
 	"rpivideo/internal/cc"
 	"rpivideo/internal/cell"
 	"rpivideo/internal/fault"
@@ -75,47 +76,23 @@ func Run(cfg Config) *Result {
 	}
 	flushStale := !cfg.Faults.FreezeQueue
 	if cfg.Faults.Enabled() {
-		uplink.SetFaults(fault.NewLine(cfg.Faults.Windows, fault.Uplink), flushStale, cfg.Faults.StaleAfter)
-		downlink.SetFaults(fault.NewLine(cfg.Faults.Windows, fault.Downlink), flushStale, cfg.Faults.StaleAfter)
+		// The primary chain takes PathAll and @p1-scoped windows; a bonded
+		// run's secondary chain takes PathAll and @p2 (setupBond). With no
+		// path-scoped windows this is exactly the old NewLine behaviour.
+		uplink.SetFaults(fault.NewPathLine(cfg.Faults.Windows, fault.Uplink, fault.PathPrimary), flushStale, cfg.Faults.StaleAfter)
+		downlink.SetFaults(fault.NewPathLine(cfg.Faults.Windows, fault.Downlink, fault.PathPrimary), flushStale, cfg.Faults.StaleAfter)
 	}
 
-	// The multipath extension: an independent second radio chain over the
-	// competing operator, carrying a duplicate of every media packet.
-	var uplink2 *link.Link
-	if cfg.Multipath && cfg.Workload == WorkloadVideo {
-		op2 := cell.P2
-		if cfg.Op == cell.P2 {
-			op2 = cell.P1
-		}
-		rng2 := s.Stream("cell2")
-		bss2 := cell.Deployment(cfg.Env, op2, rng2)
-		model2 := cell.NewSignalModel(cfg.Env, bss2, cell.DefaultSignalConfigFor(cfg.Env), rng2)
-		hoCfg2 := cell.DefaultHandoverConfigFor(cfg.Env)
-		hoCfg2.DAPS = cfg.DAPS
-		hoCfg2.RLF = hoCfg.RLF
-		machine2 := cell.NewMachine(model2, hoCfg2, cfg.Air, rng2)
-		s.Every(0, hoCfg2.MeasurementInterval, func() {
-			machine2.Step(s.Now(), stateAt(s.Now()))
-		})
-		prof2 := link.ProfileFor(cfg.Env, op2)
-		prof2.AQM = cfg.AQM
-		uplink2 = link.New(s, prof2, machine2, stateAt, s.Stream("uplink2"))
-		if res.Trace != nil {
-			machine2.SetTracer(res.Trace, obs.DirUp2)
-			uplink2.SetTracer(res.Trace, obs.DirUp2)
-		}
-		if cfg.Faults.Enabled() {
-			// A scripted coverage hole is where the vehicle is: it silences
-			// both radios of a multipath run.
-			uplink2.SetFaults(fault.NewLine(cfg.Faults.Windows, fault.Uplink), flushStale, cfg.Faults.StaleAfter)
-		}
-	}
+	// Dual-operator bonding (internal/bond): an independent second radio
+	// chain over the competing operator, a per-path health monitor and a
+	// scheduling policy. nil for single-path runs.
+	bp := setupBond(s, cfg, res, uplink, hoCfg, stateAt, flushStale)
 
 	switch cfg.Workload {
 	case WorkloadPing:
 		runPing(s, cfg, res, uplink, downlink, stateAt, dur)
 	default:
-		runVideo(s, cfg, res, machine, uplink, uplink2, downlink, stateAt, dur)
+		runVideo(s, cfg, res, machine, uplink, bp, downlink, stateAt, dur)
 	}
 
 	res.PacketsSent = uplink.Sent
@@ -123,18 +100,33 @@ func Run(cfg Config) *Result {
 	res.PacketsLost = uplink.Lost
 	res.Overflows = uplink.Overflows
 	res.AQMDrops = uplink.AQMDrops
+	if bp != nil {
+		// Bonded runs: the radio-level counters sum every path's link, so
+		// sent/delivered/lost and PER describe all the copies on the air
+		// (duplicate ≈ 2× the unique stream). The unique view is in
+		// BondPaths: per-path Delivered − Suppressed. Feedback stays on the
+		// primary chain, so the Ctrl counters below are primary-only.
+		for i := 1; i < bond.NumPaths; i++ {
+			l := bp.uplinks[i]
+			res.PacketsSent += l.Sent
+			res.PacketsDelivered += l.Delivered
+			res.PacketsLost += l.Lost
+			res.Overflows += l.Overflows
+			res.AQMDrops += l.AQMDrops
+		}
+	}
 	res.CtrlPacketsSent = uplink.CtrlSent
 	res.CtrlPacketsDelivered = uplink.CtrlDelivered
 	res.CtrlPacketsLost = uplink.CtrlLost
-	if uplink.Sent > 0 {
-		res.PER = float64(uplink.Lost) / float64(uplink.Sent)
+	if res.PacketsSent > 0 {
+		res.PER = float64(res.PacketsLost) / float64(res.PacketsSent)
 	}
 	return res
 }
 
-// runVideo wires the RTP video pipeline and runs it to completion. uplink2
-// is the optional second (multipath) access link carrying duplicates.
-func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, uplink, uplink2, downlink *link.Link, stateAt func(time.Duration) flight.State, dur time.Duration) {
+// runVideo wires the RTP video pipeline and runs it to completion. bp is
+// the optional bonding state (second access link, health monitor, policy).
+func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, uplink *link.Link, bp *bondPaths, downlink *link.Link, stateAt func(time.Duration) flight.State, dur time.Duration) {
 	faultsOn := cfg.Faults.Enabled()
 	watchdog := faultsOn && cfg.Faults.Watchdog
 	var ctrl cc.Controller
@@ -158,6 +150,13 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 		if tc, ok := ctrl.(cc.Traceable); ok {
 			tc.SetTracer(res.Trace)
 		}
+	}
+	// rawCtrl is the concrete controller for the type-asserted extensions
+	// (RepairAware, the SCReAM counters); bonded runs wrap the rate queries
+	// so the encoder target also honors the aggregate path budget.
+	rawCtrl := ctrl
+	if bp != nil {
+		ctrl = cc.NewBonded(ctrl, bp.mgr.Budget)
 	}
 
 	scfg := video.DefaultSenderConfig()
@@ -213,7 +212,7 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 		}
 		// Account repair spend against the media target so media plus RTX
 		// together honor the congested rate (cc.RepairAware).
-		if ra, ok := ctrl.(cc.RepairAware); ok {
+		if ra, ok := rawCtrl.(cc.RepairAware); ok {
 			ra.SetRepairSpend(rtxBudget.SpendRate)
 		}
 	}
@@ -222,9 +221,15 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 		if rtxCache != nil {
 			rtxCache.Store(p, s.Now())
 		}
-		uplink.Send(p, size)
-		if uplink2 != nil {
-			uplink2.Send(p, size)
+		if bp == nil {
+			uplink.Send(p, size)
+			return
+		}
+		set := bp.mgr.Route(s.Now(), size)
+		for i := 0; i < bond.NumPaths; i++ {
+			if set.Has(i) {
+				bp.uplinks[i].Send(p, size)
+			}
 		}
 	}
 
@@ -344,10 +349,30 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 	}
 	var owdPts []metrics.Point
 	var seen *multipathDedup
-	if uplink2 != nil {
+	var reorder *bond.Reorder
+	var suppressed [bond.NumPaths]int64
+	if bp != nil {
+		// Deduplication is always on for bonded runs: the duplicate policy
+		// sends full copies, and every other policy still duplicates probe
+		// packets onto idle paths.
 		seen = newMultipathDedup()
+		if bp.mgr.Policy() != bond.PolicyDuplicate {
+			// Striping policies interleave paths of different latency; the
+			// bounded reorder buffer re-serializes for the player. The
+			// duplicate policy plays the first copy and needs none.
+			bcfg := bp.mgr.Config()
+			reorder = bond.NewReorder(bcfg.ReorderDeadline, bcfg.ReorderCap, func(meta interface{}, now time.Duration) {
+				pl.OnPacket(meta.(*rtp.Packet), now)
+			})
+			reorder.OnLate = func(ext int64, now time.Duration) {
+				if res.Trace != nil {
+					res.Trace.Emit(obs.Event{T: now, Kind: obs.KindReorderDrop, Seq: ext})
+				}
+			}
+			bp.reorder = reorder
+		}
 	}
-	deliver := func(meta any, size int, sentAt, at time.Duration) {
+	deliver := func(path int, meta any, size int, sentAt, at time.Duration) {
 		if buf, ok := meta.([]byte); ok {
 			// A sender report on the media path.
 			var sr rtp.SenderReport
@@ -374,9 +399,19 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 			pl.OnRepairedPacket(orig, at)
 			return
 		}
-		if seen != nil && seen.Duplicate(p.Header.SequenceNumber) {
-			res.MultipathDuplicates++
-			return
+		if bp != nil {
+			// Per-path health observation (delivery RTT, loss decay, rate),
+			// fed pre-dedup so probe duplicates keep an idle path's
+			// estimate warm.
+			bp.mgr.ObserveDelivery(path, at-sentAt, size)
+		}
+		var ext int64
+		if seen != nil {
+			var dup bool
+			if ext, dup = seen.DuplicateExt(p.Header.SequenceNumber); dup {
+				suppressed[path]++
+				return
+			}
 		}
 		owd := at - sentAt
 		ms := float64(owd) / float64(time.Millisecond)
@@ -390,7 +425,14 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 		if det != nil {
 			det.OnPacket(p.Header.SequenceNumber, at)
 		}
-		pl.OnPacket(p, at)
+		if reorder != nil {
+			// Striped paths interleave: the buffer re-serializes, releasing
+			// to the player in extended-sequence order under its deadline.
+			// Feedback and delay metrics above stay at first-arrival time.
+			reorder.Insert(ext, p, at)
+		} else {
+			pl.OnPacket(p, at)
+		}
 		switch cfg.CC {
 		case CCGCC:
 			if tseq, ok := p.Header.TransportSeq(); ok {
@@ -400,13 +442,28 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 			ccfbGen.Record(p.Header.SequenceNumber, at)
 		}
 	}
-	uplink.Deliver = deliver
-	if uplink2 != nil {
-		uplink2.Deliver = deliver
+	uplink.Deliver = func(meta any, size int, sentAt, at time.Duration) {
+		deliver(0, meta, size, sentAt, at)
 	}
-	if cfg.KeepSeries {
+	if cfg.KeepSeries || bp != nil {
 		uplink.OnDrop = func(meta any, size int, sentAt time.Duration, reason link.DropReason) {
-			res.LossTimes = append(res.LossTimes, sentAt)
+			if cfg.KeepSeries {
+				res.LossTimes = append(res.LossTimes, sentAt)
+			}
+			if bp != nil {
+				bp.mgr.ObserveLoss(0)
+			}
+		}
+	}
+	if bp != nil {
+		for i := 1; i < bond.NumPaths; i++ {
+			i := i
+			bp.uplinks[i].Deliver = func(meta any, size int, sentAt, at time.Duration) {
+				deliver(i, meta, size, sentAt, at)
+			}
+			bp.uplinks[i].OnDrop = func(any, int, time.Duration, link.DropReason) {
+				bp.mgr.ObserveLoss(i)
+			}
 		}
 	}
 
@@ -520,9 +577,13 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 	)
 	if faultsOn {
 		for _, w := range cfg.Faults.Windows {
-			if w.Start >= dur || w.Loss {
+			if w.Start >= dur || w.Loss || w.Path == fault.PathSecondary {
 				// Loss fades erase packets without interrupting service, so
-				// they are not outage episodes and need no recovery tracking.
+				// they are not outage episodes and need no recovery
+				// tracking. Secondary-path windows stay off the episode
+				// timeline too: it is primary-centric, and a bonded run's
+				// whole point is that the stream does not treat a standby
+				// outage as its own.
 				continue
 			}
 			end := w.End()
@@ -604,6 +665,11 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 
 	snd.Start()
 	s.RunUntil(dur)
+	if reorder != nil {
+		// Hand the player whatever the buffer still holds before the run's
+		// accounting closes.
+		reorder.Flush(dur)
+	}
 	snd.Stop()
 	pl.Stop()
 
@@ -634,11 +700,34 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 		res.TargetSeries = metrics.NewTimeSeriesFromPoints(targetPts)
 		res.GoodputSeries = metrics.NewTimeSeriesFromPoints(gpPts)
 	}
-	if sc, ok := ctrl.(*scream.Controller); ok {
+	if sc, ok := rawCtrl.(*scream.Controller); ok {
 		res.ScreamLosses = sc.Losses
 		res.ScreamLossesInBand = sc.LossesInBand
 		res.ScreamLossesWindow = sc.LossesWindow
 		res.ScreamDiscards = sc.QueueDiscards
+	}
+	if bp != nil {
+		res.BondPolicy = bp.mgr.Policy().String()
+		res.BondSwitches = bp.mgr.Switches
+		if reorder != nil {
+			res.BondReorderLate = int(reorder.Late)
+			res.BondReorderForced = int(reorder.DeadlineReleases + reorder.CapReleases)
+		}
+		// Per-path accounting from the manager; MultipathDuplicates stays
+		// as the derived compat view (total copies suppressed at the
+		// receiver, the old field's meaning exactly).
+		for i := 0; i < bond.NumPaths; i++ {
+			st := bp.mgr.Stats(i, dur)
+			res.BondPaths = append(res.BondPaths, BondPathStats{
+				Sent:       st.Sent,
+				Delivered:  st.Delivered,
+				Lost:       st.Lost,
+				Suppressed: suppressed[i],
+				DownMs:     float64(st.DownFor) / float64(time.Millisecond),
+				Up:         st.Up,
+			})
+			res.MultipathDuplicates += int(suppressed[i])
+		}
 	}
 	if faultsOn {
 		collectRLFs(false)

@@ -63,6 +63,18 @@ type Summary struct {
 	MultipathDuplicates int
 	AQMDrops            int
 
+	// Bonding (sums across runs; per-path detail collapses to totals so
+	// the summary footprint stays O(1) in the run count).
+	BondSwitches       int
+	BondPathDownEvents int
+	BondPathUpEvents   int
+	BondReorderLate    int
+	BondReorderForced  int
+	// Per-path counters summed over runs AND paths: the campaign-level
+	// overhead ratio is BondPathSent / (BondPathDelivered - BondPathSuppressed).
+	BondPathSent, BondPathDelivered, BondPathLost, BondPathSuppressed int64
+	BondPathDownMs                                                    float64
+
 	// SCReAM internals.
 	ScreamLosses       int
 	ScreamLossesInBand int
@@ -151,6 +163,19 @@ func (s *Summary) AddResult(r *Result) {
 
 	s.MultipathDuplicates += r.MultipathDuplicates
 	s.AQMDrops += r.AQMDrops
+
+	s.BondSwitches += r.BondSwitches
+	s.BondPathDownEvents += r.BondPathDownEvents
+	s.BondPathUpEvents += r.BondPathUpEvents
+	s.BondReorderLate += r.BondReorderLate
+	s.BondReorderForced += r.BondReorderForced
+	for _, p := range r.BondPaths {
+		s.BondPathSent += p.Sent
+		s.BondPathDelivered += p.Delivered
+		s.BondPathLost += p.Lost
+		s.BondPathSuppressed += p.Suppressed
+		s.BondPathDownMs += p.DownMs
+	}
 
 	s.ScreamLosses += r.ScreamLosses
 	s.ScreamLossesInBand += r.ScreamLossesInBand

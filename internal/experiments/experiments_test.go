@@ -40,6 +40,7 @@ func TestAllExperimentsSatisfyShapeChecks(t *testing.T) {
 		{"ext-mpath", ExtMultipath},
 		{"robust", Robustness},
 		{"repair", Repair},
+		{"bond", Bond},
 	}
 	for _, e := range exps {
 		e := e

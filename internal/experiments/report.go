@@ -32,6 +32,9 @@ type Options struct {
 	// schedule (fault.ParseSchedule syntax, e.g. "45s+2s,70s+500ms/up").
 	// Empty selects the default single 2 s blackout.
 	FaultSpec string
+	// BondPolicy restricts the bond experiment to one scheduler policy
+	// (duplicate, failover, cheapest or spray). Empty compares all four.
+	BondPolicy string
 }
 
 func (o *Options) defaults() {
@@ -250,5 +253,6 @@ func All(o Options) []*Report {
 		ExtMultipath(o),
 		Robustness(o),
 		Repair(o),
+		Bond(o),
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rpivideo/internal/bond"
 	"rpivideo/internal/cell"
 	"rpivideo/internal/core"
 	"rpivideo/internal/fault"
@@ -81,6 +82,25 @@ func Scenarios() []Scenario {
 					KeyframeRecovery: true,
 				},
 				Repair: repair.Config{Enabled: true},
+			},
+			Runs: 1,
+		},
+		{
+			Name: "bond-rlf",
+			Desc: "urban ground GCC, dual-operator failover through a 2 s primary-path blackout with RLF at 3 s, 8 s — the bonding trace",
+			Config: core.Config{
+				Env:      cell.Urban,
+				Op:       cell.P1,
+				CC:       core.CCGCC,
+				Seed:     1,
+				Duration: 8 * time.Second,
+				Bond:     bond.Config{Policy: bond.PolicyFailover},
+				Faults: fault.Config{
+					Windows:          []fault.Window{{Start: 3 * time.Second, Duration: 2 * time.Second, Dir: fault.Both, Path: fault.PathPrimary}},
+					RLF:              true,
+					Watchdog:         true,
+					KeyframeRecovery: true,
+				},
 			},
 			Runs: 1,
 		},

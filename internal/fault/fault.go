@@ -40,6 +40,18 @@ func (d Direction) String() string {
 	}
 }
 
+// Path scopes a scripted window to one bonded radio chain. The zero value
+// (PathAll) is the physical coverage hole of the single-path campaigns: the
+// vehicle is inside it, so every radio is silenced. PathPrimary and
+// PathSecondary model operator-side failures — an RLF or outage on one
+// operator's network while the other keeps serving — which is the failure
+// mode dual-operator bonding exists to survive.
+const (
+	PathAll       = 0
+	PathPrimary   = 1
+	PathSecondary = 2
+)
+
 // Window is one scripted fault episode on the link(s) in Dir over
 // [Start, Start+Duration). With Loss false it is a coverage outage:
 // service is interrupted, packets queue behind the interruption and the
@@ -53,6 +65,9 @@ type Window struct {
 	Duration time.Duration
 	Dir      Direction
 	Loss     bool
+	// Path scopes the window to one bonded radio chain (PathPrimary or
+	// PathSecondary); PathAll silences every chain.
+	Path int
 }
 
 // End returns the instant service resumes.
@@ -60,13 +75,18 @@ func (w Window) End() time.Duration { return w.Start + w.Duration }
 
 // ParseSchedule parses a comma-separated scripted fault schedule. Each
 // element is start+duration (a coverage outage) or start~duration (a deep
-// fade erasing packets in flight), with an optional direction suffix:
+// fade erasing packets in flight), with optional direction and path-scope
+// suffixes:
 //
 //	"45s+2s"                 both directions dark for 2 s at t=45 s
 //	"45s+2s,90s+500ms/down"  plus a feedback-only blackout at t=90 s
 //	"20s~60ms"               a 60 ms loss fade at t=20 s
+//	"45s+2s@p1"              an operator-side blackout of the primary
+//	                         bonded path only (the secondary keeps serving)
 //
-// Suffixes are /up, /down and /both (the default).
+// Direction suffixes are /up, /down and /both (the default); path-scope
+// suffixes are @p1 and @p2 (default: every path). The suffixes compose in
+// either order ("45s+2s/up@p1" ≡ "45s+2s@p1/up").
 func ParseSchedule(spec string) ([]Window, error) {
 	var out []Window
 	for _, field := range strings.Split(spec, ",") {
@@ -75,16 +95,42 @@ func ParseSchedule(spec string) ([]Window, error) {
 			continue
 		}
 		w := Window{Dir: Both}
-		if i := strings.IndexByte(field, '/'); i >= 0 {
-			switch field[i+1:] {
-			case "up":
-				w.Dir = Uplink
-			case "down":
-				w.Dir = Downlink
-			case "both":
-				w.Dir = Both
-			default:
-				return nil, fmt.Errorf("fault: bad direction %q in %q (want up, down or both)", field[i+1:], field)
+		var haveDir, havePath bool
+		for {
+			i := strings.LastIndexAny(field, "/@")
+			if i < 0 {
+				break
+			}
+			tok := field[i+1:]
+			switch field[i] {
+			case '/':
+				if haveDir {
+					return nil, fmt.Errorf("fault: repeated direction suffix in %q", field)
+				}
+				haveDir = true
+				switch tok {
+				case "up":
+					w.Dir = Uplink
+				case "down":
+					w.Dir = Downlink
+				case "both":
+					w.Dir = Both
+				default:
+					return nil, fmt.Errorf("fault: bad direction %q in %q (want up, down or both)", tok, field)
+				}
+			case '@':
+				if havePath {
+					return nil, fmt.Errorf("fault: repeated path scope in %q", field)
+				}
+				havePath = true
+				switch tok {
+				case "p1":
+					w.Path = PathPrimary
+				case "p2":
+					w.Path = PathSecondary
+				default:
+					return nil, fmt.Errorf("fault: bad path scope %q in %q (want p1 or p2)", tok, field)
+				}
 			}
 			field = field[:i]
 		}
@@ -181,16 +227,26 @@ func mergeSpans(spans []span) []span {
 	return merged
 }
 
-// NewLine filters the windows that apply to dir, sorts and merges them.
-// It returns nil when none apply, which Blocked and Lossy treat as never
-// blocked and never lossy.
+// NewLine filters the windows that apply to dir regardless of path scope,
+// sorts and merges them. It returns nil when none apply, which Blocked and
+// Lossy treat as never blocked and never lossy.
 func NewLine(ws []Window, dir Direction) *Line {
+	return NewPathLine(ws, dir, PathAll)
+}
+
+// NewPathLine is NewLine restricted to the windows that apply to one bonded
+// radio chain: PathAll windows silence every chain, path-scoped windows only
+// their own. Passing PathAll as path includes every window.
+func NewPathLine(ws []Window, dir Direction, path int) *Line {
 	var outages, fades []span
 	for _, w := range ws {
 		if w.Duration <= 0 {
 			continue
 		}
 		if w.Dir != Both && w.Dir != dir {
+			continue
+		}
+		if w.Path != PathAll && path != PathAll && w.Path != path {
 			continue
 		}
 		if w.Loss {

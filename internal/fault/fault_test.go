@@ -115,6 +115,72 @@ func TestParseScheduleEdgeCases(t *testing.T) {
 	}
 }
 
+// TestParseSchedulePaths: the @p1/@p2 suffix scopes a window to one bonded
+// path and composes with the direction suffix in either order.
+func TestParseSchedulePaths(t *testing.T) {
+	ws, err := ParseSchedule("45s+2s@p1, 60s+1s/up@p2 ,75s+1s@p1/down, 90s~80ms@p2")
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	want := []Window{
+		{Start: 45 * time.Second, Duration: 2 * time.Second, Dir: Both, Path: PathPrimary},
+		{Start: 60 * time.Second, Duration: time.Second, Dir: Uplink, Path: PathSecondary},
+		{Start: 75 * time.Second, Duration: time.Second, Dir: Downlink, Path: PathPrimary},
+		{Start: 90 * time.Second, Duration: 80 * time.Millisecond, Dir: Both, Loss: true, Path: PathSecondary},
+	}
+	if len(ws) != len(want) {
+		t.Fatalf("got %d windows, want %d", len(ws), len(want))
+	}
+	for i := range want {
+		if ws[i] != want[i] {
+			t.Errorf("window %d: got %+v, want %+v", i, ws[i], want[i])
+		}
+	}
+	for _, spec := range []string{
+		"45s+2s@p3",    // no such path
+		"45s+2s@",      // empty path suffix
+		"45s+2s@p1@p2", // doubled path suffix
+		"45s+2s/up/up", // doubled direction suffix
+	} {
+		if _, err := ParseSchedule(spec); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestPathLineFiltering: NewPathLine keeps PathAll windows on every line and
+// path-scoped windows only on their own path's line.
+func TestPathLineFiltering(t *testing.T) {
+	ws := []Window{
+		{Start: 10 * time.Second, Duration: time.Second},                      // all paths
+		{Start: 20 * time.Second, Duration: time.Second, Path: PathPrimary},   // p1 only
+		{Start: 30 * time.Second, Duration: time.Second, Path: PathSecondary}, // p2 only
+	}
+	p1 := NewPathLine(ws, Uplink, PathPrimary)
+	p2 := NewPathLine(ws, Uplink, PathSecondary)
+	all := NewPathLine(ws, Uplink, PathAll)
+
+	check := func(l *Line, at time.Duration, wantBlocked bool, name string) {
+		t.Helper()
+		if _, blocked := l.Blocked(at); blocked != wantBlocked {
+			t.Errorf("%s.Blocked(%v) = %v, want %v", name, at, blocked, wantBlocked)
+		}
+	}
+	check(p1, 10500*time.Millisecond, true, "p1") // unscoped window hits both
+	check(p2, 10500*time.Millisecond, true, "p2")
+	check(p1, 20500*time.Millisecond, true, "p1")
+	check(p2, 20500*time.Millisecond, false, "p2")
+	check(p1, 30500*time.Millisecond, false, "p1")
+	check(p2, 30500*time.Millisecond, true, "p2")
+	// A PathAll line (the single-operator legacy shape) sees everything.
+	check(all, 20500*time.Millisecond, true, "all")
+	check(all, 30500*time.Millisecond, true, "all")
+
+	if NewPathLine([]Window{{Start: 1, Duration: 1, Path: PathSecondary}}, Uplink, PathPrimary) != nil {
+		t.Error("NewPathLine with no applicable windows should return nil")
+	}
+}
+
 func TestLineDirectionFiltering(t *testing.T) {
 	ws := []Window{
 		{Start: 10 * time.Second, Duration: time.Second, Dir: Both},

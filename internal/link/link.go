@@ -566,6 +566,15 @@ func (l *Link) dequeueHead() queued {
 	return head
 }
 
+// Interrupted reports whether the link's service is interrupted at now —
+// handover execution, RLF re-establishment or a scripted fault window. It
+// is a pure read (the bond health monitor's outage probe); the link's own
+// service path uses interruption below.
+func (l *Link) Interrupted(now time.Duration) bool {
+	_, down := l.interruption(now)
+	return down
+}
+
 // interruption reports whether the link is silenced at now — handover
 // execution, RLF re-establishment (both via the machine's busy window) or
 // a scripted fault window — and the earliest instant service can resume.

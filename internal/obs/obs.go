@@ -71,6 +71,20 @@ const (
 	// event per dead span instead: Seq is the first missing sequence
 	// number and Aux the span length.
 	KindRepairAbandoned
+	// KindPathDown is a bonded path declared unhealthy by the bond health
+	// monitor (outage or loss breach past the hysteresis). Seq: path index;
+	// Aux: cause (bond.DownCause numeric value).
+	KindPathDown
+	// KindPathUp is a bonded path readmitted after its probation. Seq:
+	// path index; V: milliseconds the path spent down.
+	KindPathUp
+	// KindFailover is the failover scheduler switching its active path.
+	// Seq: previous active path; Aux: new active path.
+	KindFailover
+	// KindReorderDrop is a packet the bonded reorder buffer discarded as
+	// too late (its slot was already released to the player). Seq:
+	// extended media sequence number.
+	KindReorderDrop
 )
 
 // String implements fmt.Stringer; the strings are the JSONL kind values.
@@ -106,6 +120,14 @@ func (k Kind) String() string {
 		return "repair-ok"
 	case KindRepairAbandoned:
 		return "repair-abandoned"
+	case KindPathDown:
+		return "path-down"
+	case KindPathUp:
+		return "path-up"
+	case KindFailover:
+		return "failover"
+	case KindReorderDrop:
+		return "reorder-drop"
 	default:
 		return "unknown"
 	}

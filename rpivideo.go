@@ -28,6 +28,7 @@ package rpivideo
 import (
 	"io"
 
+	"rpivideo/internal/bond"
 	"rpivideo/internal/cell"
 	"rpivideo/internal/core"
 	"rpivideo/internal/fault"
@@ -118,6 +119,32 @@ type FaultEpisode = fault.Episode
 // is a coverage outage, `start~duration` a loss fade (service up, packets
 // erased in flight).
 func ParseFaultSchedule(spec string) ([]FaultWindow, error) { return fault.ParseSchedule(spec) }
+
+// BondConfig arms dual-operator link bonding on a run via Config.Bond: a
+// second radio chain over the competing operator, a per-path health
+// monitor and a scheduling policy. The zero value disables bonding (the
+// legacy Config.Multipath flag remains as an alias for the duplicate
+// policy). See internal/bond for field docs and DESIGN.md §9 for the
+// model.
+type BondConfig = bond.Config
+
+// BondPolicy selects the bonding scheduler.
+type BondPolicy = bond.Policy
+
+// Bonding scheduler policies.
+const (
+	// BondDuplicate copies every packet onto every live path.
+	BondDuplicate = bond.PolicyDuplicate
+	// BondFailover keeps a hot standby and switches on health breach.
+	BondFailover = bond.PolicyFailover
+	// BondCheapest follows the best path by RTT+loss score.
+	BondCheapest = bond.PolicyCheapest
+	// BondSpray stripes packets across live paths by weighted round-robin.
+	BondSpray = bond.PolicySpray
+)
+
+// BondPathStats is one bonded path's accounting in Result.BondPaths.
+type BondPathStats = core.BondPathStats
 
 // RepairConfig arms the NACK/RTX packet-loss repair layer on a run via
 // Config.Repair: receiver-side loss detection with RTT-adaptive retries,
