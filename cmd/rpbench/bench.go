@@ -43,11 +43,7 @@ type runBenchStats struct {
 // The measurement deliberately disables tracing: the benchmark tracks the
 // simulation hot path, and the -compare metrics gate separately pins that
 // traced results stay byte-identical.
-func benchScenario(name string, seed int64, dur time.Duration, minSeconds float64, outPath, comparePath string, tolerance float64) (slow bool, err error) {
-	sc, err := experiments.ScenarioByName(name)
-	if err != nil {
-		return false, err
-	}
+func benchScenario(sc experiments.Scenario, seed int64, dur time.Duration, minSeconds float64, outPath, comparePath string, tolerance float64) (slow bool, err error) {
 	cfg := sc.Config
 	cfg.Trace = false
 	if dur > 0 {
@@ -119,6 +115,89 @@ func benchScenario(name string, seed int64, dur time.Duration, minSeconds float6
 	fmt.Fprintf(os.Stderr, "rpbench: perf gate ok: %.0f sim-s/wall-s >= floor %.0f (baseline %.0f, tolerance %.2f)\n",
 		st.SimPerWall, floor, base.SimPerWall, tolerance)
 	return false, nil
+}
+
+// fleetBenchStats is the BENCH_fleet.json payload: throughput of a whole
+// fleet execution. SimSeconds counts every UAV's simulated time (fleet size
+// × duration × repetitions), so SimPerWall is directly comparable to the
+// single-run BENCH_run.json number — it is the aggregate simulation volume
+// the process sustains per wall-clock second.
+type fleetBenchStats struct {
+	Scenario        string  `json:"scenario"`
+	FleetSize       int     `json:"fleet_size"`
+	Scheduler       string  `json:"scheduler"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Runs            int     `json:"runs"`
+	SimSeconds      float64 `json:"sim_seconds"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	SimPerWall      float64 `json:"sim_seconds_per_wall_second"`
+}
+
+// benchFleet measures full-fleet throughput (all three phases: attach
+// replay, contention fold, contended runs) over repeated executions and
+// writes the stats to outPath. Events are disabled: the benchmark tracks
+// the simulation hot path, as benchScenario does for single runs.
+func benchFleet(sc experiments.Scenario, seed int64, dur time.Duration, minSeconds float64, outPath string) error {
+	cfg := sc.Config
+	if dur > 0 {
+		cfg.Duration = dur
+	}
+	if seed != 0 && seed != 1 {
+		cfg.Seed = seed
+	}
+	if minSeconds <= 0 {
+		minSeconds = 1.5
+	}
+	fc := core.FleetConfig{Config: cfg, Size: sc.Fleet, Sched: sc.Sched}
+	runOnce := func() error {
+		_, errs := core.RunFleet(fc)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := runOnce(); err != nil { // warm-up, as in benchScenario
+		return err
+	}
+	runs := 0
+	start := time.Now()
+	var wall time.Duration
+	for {
+		if err := runOnce(); err != nil {
+			return err
+		}
+		runs++
+		wall = time.Since(start)
+		if wall.Seconds() >= minSeconds && runs >= 2 {
+			break
+		}
+	}
+
+	st := fleetBenchStats{
+		Scenario:        sc.Name,
+		FleetSize:       sc.Fleet,
+		Scheduler:       sc.Sched.String(),
+		DurationSeconds: cfg.Duration.Seconds(),
+		Runs:            runs,
+		SimSeconds:      float64(sc.Fleet) * cfg.Duration.Seconds() * float64(runs),
+		WallSeconds:     wall.Seconds(),
+	}
+	if st.WallSeconds > 0 {
+		st.SimPerWall = st.SimSeconds / st.WallSeconds
+	}
+	if err := writeFileWith(outPath, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&st)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rpbench: fleet %s ×%d (%s): %d runs, %.0f sim-s in %.2f wall-s = %.0f sim-s/wall-s, wrote %s\n",
+		sc.Name, st.FleetSize, st.Scheduler, st.Runs, st.SimSeconds, st.WallSeconds, st.SimPerWall, outPath)
+	return nil
 }
 
 // readRunBench loads a BENCH_run.json baseline.

@@ -14,6 +14,7 @@
 //
 //	rpbench -scenario urban-gcc -trace out.jsonl   # traced scenario run
 //	rpbench -scenario urban-gcc -metrics out.json  # campaign metrics
+//	rpbench -scenario urban-gcc -fleet 500/pf      # 500 UAVs on one shared cell map
 //	rpbench -scenario urban-gcc -report out/       # analyzer report bundle
 //	rpbench -analyze out.jsonl -report out/        # same bundle from a trace file
 //	rpbench -pprof 127.0.0.1:6060 ...              # pprof + runtime metrics
@@ -73,6 +74,7 @@ var registry = []struct {
 	{"robust", "fault injection: outages and graceful degradation", experiments.Robustness},
 	{"repair", "packet-loss repair: NACK/RTX vs PLI-only", experiments.Repair},
 	{"bond", "dual-operator bonding: policies through a primary-path blackout", experiments.Bond},
+	{"fleet", "fleet-scale cell contention: shared cells under PRB scheduling", experiments.Fleet},
 }
 
 func main() {
@@ -87,6 +89,7 @@ func main() {
 		"restrict the bond experiment to one scheduler policy (duplicate, failover, cheapest, spray); empty compares all four")
 	list := flag.Bool("list", false, "list experiment and scenario IDs and exit")
 	scenario := flag.String("scenario", "", "run a named observability scenario instead of experiments")
+	fleetSpec := flag.String("fleet", "", "run the scenario as a fleet of N UAVs on one shared cell map: \"N\" or \"N/rr|pf\" (requires -scenario; overrides the scenario's own fleet setting)")
 	tracePath := flag.String("trace", "", "write the scenario's event trace as JSONL to this file (requires -scenario)")
 	metricsPath := flag.String("metrics", "", "write the scenario's campaign metrics as JSON to this file (requires -scenario)")
 	reportDir := flag.String("report", "", "write an analyzer report bundle (series/epochs/outages CSV + summary.json) to this directory (requires -scenario or -analyze)")
@@ -134,32 +137,68 @@ func main() {
 	}
 
 	if *scenario != "" {
+		sc, err := experiments.ScenarioByName(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpbench:", err)
+			os.Exit(2)
+		}
+		if *fleetSpec != "" {
+			size, sched, err := core.ParseFleetSpec(*fleetSpec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rpbench: -fleet:", err)
+				os.Exit(2)
+			}
+			sc.Fleet, sc.Sched = size, sched
+		}
 		exports := scenarioExports{
 			trace: *tracePath, metrics: *metricsPath, report: *reportDir,
 			compare: *comparePath, tolerance: *tolerance,
 		}
-		drifted, err := runScenario(*scenario, *seed, *workers, exports)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rpbench:", err)
-			os.Exit(1)
-		}
-		if *benchPath != "" {
-			slow, err := benchScenario(*scenario, *seed, *benchDur, *benchSeconds, *benchPath, *benchComparePath, *benchTolerance)
+		var drifted bool
+		if sc.Fleet > 0 {
+			drifted, err = runFleetScenario(sc, *seed, *workers, exports)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "rpbench:", err)
 				os.Exit(1)
 			}
-			if slow {
+			if *benchComparePath != "" {
+				fmt.Fprintln(os.Stderr, "rpbench: -benchcompare is not supported for fleet runs (the fleet bench payload has its own schema)")
+				os.Exit(2)
+			}
+			if *benchPath != "" {
+				if err := benchFleet(sc, *seed, *benchDur, *benchSeconds, *benchPath); err != nil {
+					fmt.Fprintln(os.Stderr, "rpbench:", err)
+					os.Exit(1)
+				}
+			}
+		} else {
+			drifted, err = runScenario(sc, *seed, *workers, exports)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rpbench:", err)
 				os.Exit(1)
 			}
-		} else if *benchComparePath != "" {
-			fmt.Fprintln(os.Stderr, "rpbench: -benchcompare requires -benchout")
-			os.Exit(2)
+			if *benchPath != "" {
+				slow, err := benchScenario(sc, *seed, *benchDur, *benchSeconds, *benchPath, *benchComparePath, *benchTolerance)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "rpbench:", err)
+					os.Exit(1)
+				}
+				if slow {
+					os.Exit(1)
+				}
+			} else if *benchComparePath != "" {
+				fmt.Fprintln(os.Stderr, "rpbench: -benchcompare requires -benchout")
+				os.Exit(2)
+			}
 		}
 		if drifted {
 			os.Exit(1)
 		}
 		return
+	}
+	if *fleetSpec != "" {
+		fmt.Fprintln(os.Stderr, "rpbench: -fleet requires -scenario (use -list for scenario IDs)")
+		os.Exit(2)
 	}
 	if *tracePath != "" || *metricsPath != "" || *reportDir != "" || *comparePath != "" {
 		fmt.Fprintln(os.Stderr, "rpbench: -trace/-metrics/-report/-compare require -scenario (use -list for scenario IDs)")
@@ -216,11 +255,7 @@ type scenarioExports struct {
 // exports. seed == the default base seed (1) keeps the scenario's pinned
 // seed, so golden traces regenerate exactly. drifted reports a -compare
 // gate failure (already printed); err covers everything else.
-func runScenario(name string, seed int64, workers int, exp scenarioExports) (drifted bool, err error) {
-	sc, err := experiments.ScenarioByName(name)
-	if err != nil {
-		return false, err
-	}
+func runScenario(sc experiments.Scenario, seed int64, workers int, exp scenarioExports) (drifted bool, err error) {
 	if seed == 1 {
 		seed = 0 // default flag value: keep the scenario's pinned seed
 	}
@@ -272,6 +307,59 @@ func runScenario(name string, seed int64, workers int, exp scenarioExports) (dri
 	merged := core.Merge(results)
 	fmt.Printf("scenario %s: %d runs, %d packets sent, %d delivered, %d frames played, %d skipped\n",
 		sc.Name, len(results), merged.PacketsSent, merged.PacketsDelivered, merged.FramesPlayed, merged.FramesSkipped)
+	return drifted, nil
+}
+
+// runFleetScenario is the fleet counterpart of runScenario: -trace receives
+// the per-cell event timeline (attach/detach/overload JSONL) and -metrics /
+// -compare use the merged fleet registry. The analyzer bundle has no fleet
+// analog, so -report is rejected.
+func runFleetScenario(sc experiments.Scenario, seed int64, workers int, exp scenarioExports) (drifted bool, err error) {
+	if exp.report != "" {
+		return false, fmt.Errorf("-report is not supported for fleet runs (the analyzer consumes per-run traces)")
+	}
+	if seed == 1 {
+		seed = 0 // default flag value: keep the scenario's pinned seed
+	}
+	fr, err := experiments.RunFleetScenario(sc, seed, workers)
+	if err != nil {
+		return false, err
+	}
+	if exp.trace != "" {
+		if err := writeFileWith(exp.trace, func(f *os.File) error { return fr.WriteCellEvents(f) }); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(os.Stderr, "rpbench: wrote cell events %s\n", exp.trace)
+	}
+	if exp.metrics != "" {
+		if err := writeFileWith(exp.metrics, func(f *os.File) error { return fr.WriteMetrics(f) }); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(os.Stderr, "rpbench: wrote metrics %s\n", exp.metrics)
+	}
+	if exp.compare != "" {
+		f, err := os.Open(exp.compare)
+		if err != nil {
+			return false, err
+		}
+		base, err := obs.ReadRegistryJSON(f)
+		f.Close()
+		if err != nil {
+			return false, err
+		}
+		drifts := obs.CompareRegistries(base, fr.MetricsRegistry(), obs.Tolerance{Default: exp.tolerance})
+		for _, d := range drifts {
+			fmt.Fprintln(os.Stderr, "rpbench: drift:", d)
+		}
+		if len(drifts) > 0 {
+			fmt.Fprintf(os.Stderr, "rpbench: %d metric(s) drifted from %s\n", len(drifts), exp.compare)
+			drifted = true
+		} else {
+			fmt.Fprintf(os.Stderr, "rpbench: metrics match baseline %s\n", exp.compare)
+		}
+	}
+	fmt.Printf("fleet %s: %d UAVs (%s), median per-UAV goodput %.2f Mbps, min share %.4f, %d overload epochs, peak cell users %d, %d attaches, %d handovers\n",
+		sc.Name, fr.Size, fr.Sched, fr.MedianUAVGoodput(), fr.MinShare, fr.OverloadEpochs, fr.PeakCellUsers, fr.Attaches, fr.Summary.Handovers)
 	return drifted, nil
 }
 

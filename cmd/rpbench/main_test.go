@@ -15,7 +15,7 @@ func TestRegistryConsistent(t *testing.T) {
 	}
 	// Every experiment in the package's All() set must be reachable from
 	// the CLI: the counts must agree.
-	const wantExperiments = 23 // 14 figures/tables + 3 ablations + 3 extensions + robustness + repair + bond
+	const wantExperiments = 24 // 14 figures/tables + 3 ablations + 3 extensions + robustness + repair + bond + fleet
 	if len(registry) != wantExperiments {
 		t.Errorf("registry has %d experiments, want %d", len(registry), wantExperiments)
 	}

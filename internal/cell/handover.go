@@ -106,9 +106,16 @@ func (m *Machine) SetTracer(tr *obs.Tracer, dir obs.Dir) {
 	m.traceDir = dir
 }
 
-// Serving returns the current serving cell ID (-1 before the first
-// measurement).
+// Serving returns the current serving cell's *deployment index* (-1 before
+// the first measurement) — the position in the SignalModel's cell slice,
+// which is what fleet contention keys on. For the externally meaningful
+// identifier use ServingCellID.
 func (m *Machine) Serving() int { return m.serving }
+
+// ServingCellID returns the current serving cell's base-station ID (-1
+// before the first measurement). Index and ID coincide for generated
+// deployments but not necessarily for injected shared maps.
+func (m *Machine) ServingCellID() int { return m.model.CellID(m.serving) }
 
 // Events returns all completed handover events so far.
 func (m *Machine) Events() []Event { return m.events }
@@ -195,7 +202,7 @@ func (m *Machine) Step(now time.Duration, st flight.State) *Event {
 		m.prevServing = m.serving
 		m.serving = best
 		m.lastHOAt = now
-		m.rlfs[len(m.rlfs)-1].To = best
+		m.rlfs[len(m.rlfs)-1].To = m.model.CellID(best)
 	}
 	// No measurements act while the previous handover is executing.
 	if m.InHandover(now) {
@@ -234,10 +241,12 @@ func (m *Machine) Step(now time.Duration, st flight.State) *Event {
 		m.declareRLF(now, RLFHandoverFailure)
 		return nil
 	}
+	// Events report base-station IDs; the machine's own bookkeeping stays
+	// in deployment indices (ping-pong detection compares indices).
 	ev := Event{
 		At:       now,
-		From:     m.serving,
-		To:       best,
+		From:     m.model.CellID(m.serving),
+		To:       m.model.CellID(best),
 		HET:      het,
 		PingPong: best == m.prevServing && m.haveLastHO && now-m.lastHOAt < m.cfg.PingPongWindow,
 	}

@@ -136,9 +136,10 @@ func (m *Machine) declareRLF(now time.Duration, cause RLFCause) {
 	// The target cell settles after re-establishment just as it does after
 	// a handover: reuse the post-HO degradation window.
 	m.haveLastHO = true
-	m.rlfs = append(m.rlfs, RLFEvent{At: now, Cause: cause, Outage: out, From: m.serving, To: -1})
+	from := m.model.CellID(m.serving)
+	m.rlfs = append(m.rlfs, RLFEvent{At: now, Cause: cause, Outage: out, From: from, To: -1})
 	if m.trace != nil {
 		m.trace.Emit(obs.Event{T: now, Kind: obs.KindRLF, Dir: m.traceDir,
-			Seq: int64(m.serving), Aux: int64(cause), V: float64(out) / float64(time.Millisecond)})
+			Seq: int64(from), Aux: int64(cause), V: float64(out) / float64(time.Millisecond)})
 	}
 }

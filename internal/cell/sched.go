@@ -1,0 +1,114 @@
+package cell
+
+import (
+	"fmt"
+	"math"
+)
+
+// SchedulerKind selects the per-cell PRB (physical resource block)
+// scheduler a shared deployment uses to split a cell's capacity across the
+// UEs camped on it. The split is expressed as a per-UE share of the cell's
+// single-user rate: a lone UE always gets share 1, and the shares of the
+// UEs on one cell sum to at most 1 (the PRB-conservation invariant).
+type SchedulerKind int
+
+// Schedulers.
+const (
+	// SchedRR is the round-robin split: every attached UE gets an equal
+	// 1/n share of the cell regardless of its channel quality.
+	SchedRR SchedulerKind = iota
+	// SchedPF is the proportional-fair split: shares are proportional to
+	// each UE's spectral-efficiency proxy (log2(1+SNR) from its serving
+	// RSRP), so UEs with a good channel get more PRBs and cell-edge UEs
+	// are squeezed — the scheduling real eNodeBs approximate.
+	SchedPF
+)
+
+// String implements fmt.Stringer; the strings are the -fleet spec and
+// metrics values.
+func (k SchedulerKind) String() string {
+	if k == SchedPF {
+		return "pf"
+	}
+	return "rr"
+}
+
+// ParseScheduler parses a scheduler name ("rr" or "pf").
+func ParseScheduler(s string) (SchedulerKind, error) {
+	switch s {
+	case "rr", "round-robin":
+		return SchedRR, nil
+	case "pf", "proportional-fair":
+		return SchedPF, nil
+	default:
+		return SchedRR, fmt.Errorf("unknown scheduler %q (want rr or pf)", s)
+	}
+}
+
+// noiseFloorDBm is the thermal noise floor the PF weight measures SNR
+// against; the RLF model's Qout (-120 dBm) sits just above it.
+const noiseFloorDBm = -121.0
+
+// minSpectralEff floors the PF weight: even a drowned UE keeps a sliver of
+// PRBs, so no share is ever exactly zero (which would zero its link
+// capacity for whole epochs).
+const minSpectralEff = 0.05
+
+// spectralEff maps a serving RSRP to the Shannon log2(1+SNR) proxy the PF
+// scheduler weighs by. The weight is deliberately unclamped above: PF
+// shares are relative, so only the *differences* between co-cell UEs
+// matter, and the log keeps a 10 dB signal advantage worth the same
+// ~3.3 weight points whether the cell is strong or weak.
+func spectralEff(rsrpDBm float64) float64 {
+	if math.IsInf(rsrpDBm, -1) || math.IsNaN(rsrpDBm) {
+		return minSpectralEff
+	}
+	snr := math.Pow(10, (rsrpDBm-noiseFloorDBm)/10)
+	eff := math.Log2(1 + snr)
+	if eff < minSpectralEff {
+		return minSpectralEff
+	}
+	return eff
+}
+
+// cellShares fills shares[i] with the capacity share of the i-th member of
+// one cell under the given scheduler. members carries each UE's serving
+// RSRP (only PF reads it). The shares are positive and sum to at most 1:
+// after the proportional split a defensive renormalization caps the
+// floating-point sum at exactly the cell's capacity.
+func cellShares(kind SchedulerKind, rsrps []float64, shares []float64) {
+	n := len(rsrps)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		// A lone UE gets the full single-user rate, exactly.
+		shares[0] = 1
+		return
+	}
+	switch kind {
+	case SchedPF:
+		total := 0.0
+		for _, r := range rsrps {
+			total += spectralEff(r)
+		}
+		for i, r := range rsrps {
+			shares[i] = spectralEff(r) / total
+		}
+	default:
+		eq := 1 / float64(n)
+		for i := range shares[:n] {
+			shares[i] = eq
+		}
+	}
+	sum := 0.0
+	for _, s := range shares[:n] {
+		sum += s
+	}
+	if sum > 1 {
+		inv := 1 / sum
+		for i := range shares[:n] {
+			shares[i] *= inv
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package cell
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParseScheduler(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SchedulerKind
+		ok   bool
+	}{
+		{"rr", SchedRR, true},
+		{"round-robin", SchedRR, true},
+		{"pf", SchedPF, true},
+		{"proportional-fair", SchedPF, true},
+		{"", SchedRR, false},
+		{"fair", SchedRR, false},
+		{"RR", SchedRR, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseScheduler(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseScheduler(%q) = (%v, %v), want (%v, ok=%v)", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	for _, k := range []SchedulerKind{SchedRR, SchedPF} {
+		got, err := ParseScheduler(k.String())
+		if err != nil || got != k {
+			t.Errorf("scheduler %v does not round-trip through its name", k)
+		}
+	}
+}
+
+// TestCellSharesConservation is the PRB-conservation property: for random
+// member sets under both schedulers, every share is positive, no share
+// exceeds 1, the cell-wide sum never exceeds 1 (beyond float tolerance),
+// and a lone UE gets exactly the full single-user rate.
+func TestCellSharesConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shares := make([]float64, 64)
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(32)
+		rsrps := make([]float64, n)
+		for i := range rsrps {
+			switch rng.Intn(8) {
+			case 0:
+				rsrps[i] = math.Inf(-1) // unattached sample leaked in
+			case 1:
+				rsrps[i] = -140 + rng.Float64()*10 // below the noise floor
+			default:
+				rsrps[i] = -120 + rng.Float64()*80
+			}
+		}
+		for _, kind := range []SchedulerKind{SchedRR, SchedPF} {
+			cellShares(kind, rsrps, shares)
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				if shares[i] <= 0 || shares[i] > 1 {
+					t.Fatalf("trial %d %v: share[%d] = %v outside (0, 1]", trial, kind, i, shares[i])
+				}
+				sum += shares[i]
+			}
+			if sum > 1+1e-9 {
+				t.Fatalf("trial %d %v: shares sum to %v > 1 (n=%d)", trial, kind, sum, n)
+			}
+			if n == 1 && shares[0] != 1 {
+				t.Fatalf("trial %d %v: lone UE got share %v, want exactly 1", trial, kind, shares[0])
+			}
+		}
+	}
+}
+
+// TestSchedulerSkew pins the schedulers' defining behaviours: round-robin
+// splits equally regardless of channel quality, proportional-fair gives the
+// stronger UE strictly more.
+func TestSchedulerSkew(t *testing.T) {
+	rsrps := []float64{-60, -90} // 30 dB apart
+	shares := make([]float64, 2)
+	cellShares(SchedRR, rsrps, shares)
+	if shares[0] != shares[1] {
+		t.Errorf("RR shares %v, want equal", shares[:2])
+	}
+	cellShares(SchedPF, rsrps, shares)
+	if !(shares[0] > shares[1]) {
+		t.Errorf("PF shares %v, want strong UE strictly larger", shares[:2])
+	}
+	if shares[1] <= 0 {
+		t.Errorf("PF starved the weak UE: share %v", shares[1])
+	}
+}

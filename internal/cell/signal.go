@@ -89,6 +89,18 @@ func NewSignalModel(env Environment, bss []BS, cfg SignalConfig, rng *rand.Rand)
 // Cells returns the deployment.
 func (m *SignalModel) Cells() []BS { return m.bss }
 
+// CellID maps a deployment index — what Machine tracks internally and what
+// RSRPAll's slice positions mean — to the base station's ID. The two
+// coincide for Deployment-generated maps, but injected shared maps may
+// carry arbitrary IDs, so anything user-facing (handover and RLF events,
+// traces) must go through this mapping rather than reporting raw indices.
+func (m *SignalModel) CellID(i int) int {
+	if i < 0 || i >= len(m.bss) {
+		return -1
+	}
+	return m.bss[i].ID
+}
+
 // advance evolves the per-cell shadowing as an Ornstein–Uhlenbeck process
 // whose variance and correlation time depend on altitude.
 func (m *SignalModel) advance(now time.Duration, st flight.State) {

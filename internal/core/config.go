@@ -137,6 +137,23 @@ type Config struct {
 	// results untouched; set Enabled (zero fields then take the
 	// calibrated defaults via WithDefaults).
 	Repair repair.Config
+
+	// Fleet-scale shared-cell fields (RunFleet, fleet.go). All zero for
+	// solo runs, which keeps every calibrated result unchanged:
+
+	// Cells injects a pre-built shared base-station map instead of drawing
+	// a private per-run deployment from the "cell" stream. The fleet
+	// runner gives every UAV the same slice so they contend for the same
+	// cells.
+	Cells []cell.BS
+	// OffsetX and OffsetY translate the mobility profile's origin
+	// (metres), scattering a fleet's UAVs over the shared deployment
+	// instead of flying the identical track.
+	OffsetX, OffsetY float64
+	// CapacityShare, when non-nil, scales the media uplink's effective
+	// capacity by the fleet scheduler's share for this UAV at a given sim
+	// time (internal/cell.Contend). It must be a pure function of time.
+	CapacityShare func(time.Duration) float64
 }
 
 // bondConfig resolves the effective bonding configuration: Bond wins when

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rpivideo/internal/cell"
+	"rpivideo/internal/flight"
+	"rpivideo/internal/metrics"
+	"rpivideo/internal/obs"
+	"rpivideo/internal/sim"
+)
+
+// MaxFleetSize bounds -fleet so a typo cannot ask for a trillion UAVs.
+const MaxFleetSize = 1 << 20
+
+// FleetConfig describes a fleet run: N UAVs flying concurrently against
+// one shared base-station map, with per-cell PRB schedulers splitting each
+// cell's capacity across the UAVs camped on it.
+type FleetConfig struct {
+	// Config is the per-UAV template. Its Seed is the fleet base seed:
+	// the shared deployment is drawn from it, and UAV u flies with
+	// DeriveSeed(Seed, u) — the same derivation campaigns use — so fleet
+	// results are pure functions of (Config, Size, Sched) and independent
+	// of Workers. Bonded configs are rejected: contention is modeled for
+	// the single-operator chain.
+	Config Config
+	// Size is the number of UAVs (values below 1 mean 1).
+	Size int
+	// Sched selects the per-cell PRB scheduler (round-robin by default).
+	Sched cell.SchedulerKind
+	// Epoch is the scheduling epoch: attachment is sampled and shares
+	// recomputed at this cadence. Default 100 ms.
+	Epoch time.Duration
+	// OverloadShare is the per-user share floor below which a multi-user
+	// cell-epoch counts as overloaded. Default 0.25.
+	OverloadShare float64
+	// Spread is the radius in metres of the uniform disc over which UAV
+	// origins scatter around the deployment centre. Zero selects a
+	// per-environment default that keeps the fleet inside the map.
+	Spread float64
+	// Workers caps parallelism for the per-UAV phases (0 = GOMAXPROCS).
+	// The result is byte-identical at any setting.
+	Workers int
+	// Events retains the per-cell attach/detach/overload event timeline in
+	// the result. Off by default: a 500-UAV urban fleet generates tens of
+	// thousands of events.
+	Events bool
+	// Progress, when non-nil, is invoked once per completed UAV run
+	// (phase 3), serialized by the engine.
+	Progress func(CampaignProgress)
+}
+
+// FleetResult is the aggregate of one fleet run.
+type FleetResult struct {
+	Size  int
+	Sched cell.SchedulerKind
+	Epoch time.Duration
+	// Seed is the fleet base seed; Duration the per-UAV run length.
+	Seed     int64
+	Duration time.Duration
+	// Deployment is the shared base-station map the fleet contended for.
+	Deployment []cell.BS
+	// Summary folds every UAV's Result in UAV-index order — the same
+	// streaming fold campaigns use, so memory stays O(1) in fleet size.
+	Summary *Summary
+	// PerUAVGoodput holds one sample per UAV: its mean goodput in Mbps.
+	// The median of this distribution is the contention-monotonicity
+	// metric (non-increasing in fleet size).
+	PerUAVGoodput metrics.Dist
+	// Cells, Attaches, Detaches, OverloadEpochs, PeakCellUsers, MinShare
+	// and ShareHist summarize the scheduling fold (see cell.Contention).
+	Cells          []cell.CellStats
+	Attaches       int
+	Detaches       int
+	OverloadEpochs int
+	PeakCellUsers  int
+	MinShare       float64
+	ShareHist      *obs.Histogram
+	// CellEvents is the attach/detach/overload timeline (Events=true).
+	CellEvents []obs.Event
+
+	metrics *obs.Registry
+}
+
+// ParseFleetSpec parses the rpbench -fleet argument: "N" or "N/sched",
+// where sched names a scheduler ("rr" or "pf"). The bare form selects
+// round-robin.
+func ParseFleetSpec(spec string) (int, cell.SchedulerKind, error) {
+	s := strings.TrimSpace(spec)
+	kind := cell.SchedRR
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		k, err := cell.ParseScheduler(s[i+1:])
+		if err != nil {
+			return 0, 0, fmt.Errorf("fleet spec %q: %w", spec, err)
+		}
+		kind = k
+		s = s[:i]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, 0, fmt.Errorf("fleet spec %q: size must be an integer", spec)
+	}
+	if n < 1 {
+		return 0, 0, fmt.Errorf("fleet spec %q: size must be at least 1", spec)
+	}
+	if n > MaxFleetSize {
+		return 0, 0, fmt.Errorf("fleet spec %q: size exceeds the %d-UAV cap", spec, MaxFleetSize)
+	}
+	return n, kind, nil
+}
+
+// defaultSpread picks an origin-scatter radius that keeps the fleet over
+// the deployment: half the urban grid span, or the rural ring radius scale.
+func defaultSpread(env cell.Environment, op cell.Operator) float64 {
+	if env == cell.Urban {
+		return 750
+	}
+	if op == cell.P2 {
+		return 600
+	}
+	return 1500
+}
+
+// fleetDuration resolves the per-UAV run length without consuming any
+// UAV-private randomness (the ground profile's length is fixed; only its
+// waypoints are random).
+func fleetDuration(cfg Config) time.Duration {
+	if cfg.Duration > 0 {
+		return cfg.Duration
+	}
+	if cfg.Air {
+		return flight.StandardFlight().Duration()
+	}
+	return 6 * time.Minute
+}
+
+// attachTimeline replays one UAV's radio setup offline — same seed, same
+// streams, same handover config as its live run — stepping the handover
+// machine at the RRC measurement cadence and sampling the serving cell at
+// every scheduling-epoch start. Because the live run (with cfg.Cells
+// injected) consumes the "ground" and "cell" streams identically, the
+// timeline recorded here is exactly the attachment sequence phase 3
+// realizes. Attachment is RSRP-driven (load-independent), which is what
+// makes this precompute legal: contention changes a UAV's capacity, never
+// its serving cell.
+func attachTimeline(cfg Config, dur, epoch time.Duration, nEpochs int) []cell.AttachSample {
+	s := sim.New(cfg.Seed)
+	_, stateAt := setupMobility(cfg, s)
+	machine, hoCfg := setupRadio(cfg, s.Stream("cell"))
+	samples := make([]cell.AttachSample, 0, nEpochs)
+	measT := time.Duration(0)
+	for k := 0; k < nEpochs; k++ {
+		at := epoch * time.Duration(k)
+		// The live run steps the machine at every measurement instant
+		// ≤ now; an epoch's attachment is the machine state after the
+		// measurement on (or straddling) its start.
+		for measT <= at && measT <= dur {
+			machine.Step(measT, stateAt(measT))
+			measT += hoCfg.MeasurementInterval
+		}
+		samples = append(samples, cell.AttachSample{Cell: machine.Serving(), RSRP: machine.ServingRSRP()})
+	}
+	return samples
+}
+
+// shareLookup adapts one UAV's per-epoch share row into the pure
+// time-indexed lookup Config.CapacityShare wants.
+func shareLookup(shares []float64, epoch time.Duration) func(time.Duration) float64 {
+	return func(now time.Duration) float64 {
+		k := int(now / epoch)
+		if k < 0 {
+			k = 0
+		}
+		if k >= len(shares) {
+			k = len(shares) - 1
+		}
+		return shares[k]
+	}
+}
+
+// fleetFan runs fn(0..n-1) across a bounded worker pool, recovering each
+// index's panic into errs[i]. Indexed slice writes need no locking.
+func fleetFan(workers, n int, errs []error, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	runOne := func(i int) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				errs[i] = fmt.Errorf("fleet uav %d panicked: %v", i, rec)
+			}
+		}()
+		fn(i)
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			runOne(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runOne(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// RunFleet executes N concurrent flights against one shared base-station
+// map in a single process, in three phases:
+//
+//  1. Per UAV (parallel): replay the radio setup offline and record the
+//     attachment timeline at scheduling-epoch granularity.
+//  2. Fold (serial): cell.Contend turns the timelines into per-UAV
+//     per-epoch capacity shares under the selected PRB scheduler, plus
+//     per-cell stats and the attach/detach/overload event stream.
+//  3. Per UAV (parallel): the full run with the shared map and its share
+//     row injected, folded into the Summary in UAV-index order.
+//
+// Every phase is a pure function of (Config, Size, Sched, ...), so the
+// result — down to exported bytes — is identical at any Workers count.
+// The errs slice is indexed by UAV; a failed UAV is simply missing from
+// the aggregate.
+func RunFleet(fc FleetConfig) (*FleetResult, []error) {
+	if fc.Size < 1 {
+		fc.Size = 1
+	}
+	if fc.Epoch <= 0 {
+		fc.Epoch = 100 * time.Millisecond
+	}
+	if fc.OverloadShare <= 0 {
+		fc.OverloadShare = 0.25
+	}
+	base := fc.Config
+	if base.bondConfig().Enabled() {
+		return nil, []error{errors.New("fleet: bonded configs are not supported (contention models the single-operator chain)")}
+	}
+	cells := cell.Deployment(base.Env, base.Op, sim.New(base.Seed).Stream("fleet-deploy"))
+	dur := fleetDuration(base)
+	nEpochs := int((dur + fc.Epoch - 1) / fc.Epoch)
+	if nEpochs < 1 {
+		nEpochs = 1
+	}
+	spread := fc.Spread
+	if spread <= 0 {
+		spread = defaultSpread(base.Env, base.Op)
+	}
+
+	// Derive each UAV's private config: own seed, own origin offset
+	// (uniform over a disc — its own "fleet-origin" stream, so neither
+	// the flight nor the radio streams shift), shared cells.
+	cfgs := make([]Config, fc.Size)
+	for u := range cfgs {
+		c := base
+		c.Seed = DeriveSeed(base.Seed, u)
+		c.Duration = dur
+		c.Cells = cells
+		// Per-UAV traces stay off in fleets: the fleet-level surface is
+		// the cell event timeline plus the folded summary.
+		c.Trace = false
+		org := sim.New(c.Seed).Stream("fleet-origin")
+		r := spread * math.Sqrt(org.Float64())
+		theta := 2 * math.Pi * org.Float64()
+		c.OffsetX += r * math.Cos(theta)
+		c.OffsetY += r * math.Sin(theta)
+		cfgs[u] = c
+	}
+
+	errs := make([]error, fc.Size)
+
+	// Phase 1: attachment timelines.
+	timelines := make([][]cell.AttachSample, fc.Size)
+	fleetFan(fc.Workers, fc.Size, errs, func(u int) {
+		timelines[u] = attachTimeline(cfgs[u], dur, fc.Epoch, nEpochs)
+	})
+	for u, tl := range timelines {
+		if tl == nil {
+			timelines[u] = []cell.AttachSample{} // failed UAV: never attached
+		}
+	}
+
+	// Phase 2: the scheduling fold.
+	ct := cell.Contend(timelines, cells, fc.Sched, fc.OverloadShare, fc.Epoch, fc.Events)
+
+	fr := &FleetResult{
+		Size:           fc.Size,
+		Sched:          fc.Sched,
+		Epoch:          fc.Epoch,
+		Seed:           base.Seed,
+		Duration:       dur,
+		Deployment:     cells,
+		Summary:        &Summary{},
+		Cells:          ct.Cells,
+		Attaches:       ct.Attaches,
+		Detaches:       ct.Detaches,
+		OverloadEpochs: ct.OverloadEpochs,
+		PeakCellUsers:  ct.PeakUsers,
+		MinShare:       ct.MinShare,
+		ShareHist:      ct.ShareHist,
+		CellEvents:     ct.Events,
+		metrics:        obs.NewRegistry(),
+	}
+
+	// Phase 3: full runs with the shares installed, folded in UAV-index
+	// order through the same pending-map the campaign engine uses.
+	var (
+		mu        sync.Mutex
+		pending   = make(map[int]*Result)
+		next      int
+		completed int
+		simSecs   float64
+	)
+	start := time.Now()
+	fold := func(u int, res *Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		pending[u] = res // nil marks a failed UAV so index order advances
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if r != nil {
+				fr.Summary.AddResult(r)
+				fr.metrics.Merge(r.MetricsRegistry())
+				fr.PerUAVGoodput.Add(r.Goodput.Mean())
+			}
+			next++
+		}
+		completed++
+		if res != nil {
+			simSecs += res.Duration.Seconds()
+		}
+		if fc.Progress != nil {
+			p := CampaignProgress{Completed: completed, Total: fc.Size, RunIndex: u, Err: errs[u], Wall: time.Since(start)}
+			if w := p.Wall.Seconds(); w > 0 {
+				p.SimRate = simSecs / w
+			}
+			fc.Progress(p)
+		}
+	}
+	fleetFan(fc.Workers, fc.Size, errs, func(u int) {
+		var res *Result
+		defer func() { fold(u, res) }()
+		if errs[u] != nil {
+			return // phase 1 already failed this UAV
+		}
+		c := cfgs[u]
+		c.CapacityShare = shareLookup(ct.Shares[u], fc.Epoch)
+		r := Run(c)
+		// Scrub the injected fields before folding: the summary's Config
+		// must stay comparable (func fields defeat DeepEqual) and free of
+		// the 500-way-shared deployment slice.
+		r.Config.CapacityShare = nil
+		r.Config.Cells = nil
+		res = r
+	})
+
+	fr.finishMetrics()
+	return fr, errs
+}
+
+// finishMetrics layers the fleet-level keys over the merged per-UAV
+// registry. Fleet keys are namespaced fleet_* so a fleet export can never
+// be mistaken for (or pollute) a solo campaign baseline.
+func (fr *FleetResult) finishMetrics() {
+	reg := fr.metrics
+	reg.Add("fleet_size", int64(fr.Size))
+	reg.Add("fleet_cells", int64(len(fr.Deployment)))
+	reg.Add("fleet_attaches", int64(fr.Attaches))
+	reg.Add("fleet_detaches", int64(fr.Detaches))
+	reg.Add("fleet_overload_epochs", int64(fr.OverloadEpochs))
+	reg.Add("fleet_cell_events", int64(len(fr.CellEvents)))
+	reg.SetGauge("fleet_peak_cell_users", float64(fr.PeakCellUsers))
+	// A single watermark write, so the max-merge semantics of gauges
+	// cannot invert this minimum.
+	reg.SetGauge("fleet_min_share", fr.MinShare)
+	reg.SetGauge("fleet_median_uav_goodput_mbps", fr.PerUAVGoodput.Median())
+	reg.Histogram("fleet_share", obs.ShareBuckets).Merge(fr.ShareHist)
+	observeSorted(reg.Histogram("fleet_uav_goodput_mbps", obs.RateMbpsBuckets), &fr.PerUAVGoodput)
+}
+
+// MetricsRegistry returns the fleet's metrics: every UAV's run registry
+// merged in UAV-index order plus the fleet_* contention keys. Byte-stable
+// at any worker count.
+func (fr *FleetResult) MetricsRegistry() *obs.Registry { return fr.metrics }
+
+// WriteMetrics writes the fleet metrics registry as canonical JSON.
+func (fr *FleetResult) WriteMetrics(w io.Writer) error { return fr.metrics.WriteJSON(w) }
+
+// WriteCellEvents writes the fleet's cell event timeline (attach, detach,
+// overload transitions) in the standard JSONL trace format, under a single
+// fleet meta line.
+func (fr *FleetResult) WriteCellEvents(w io.Writer) error {
+	meta := obs.RunMeta{
+		Label:    fmt.Sprintf("fleet-%d-%s-%s", fr.Size, fr.Sched, fr.Summary.Config.Label()),
+		Seed:     fr.Seed,
+		Duration: fr.Duration,
+		Events:   int64(len(fr.CellEvents)),
+	}
+	return obs.WriteJSONL(w, meta, fr.CellEvents)
+}
+
+// MedianUAVGoodput returns the median over UAVs of each UAV's mean goodput
+// (Mbps) — the fleet's headline contention metric.
+func (fr *FleetResult) MedianUAVGoodput() float64 { return fr.PerUAVGoodput.Median() }

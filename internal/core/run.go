@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"sort"
 	"time"
 
@@ -32,28 +33,15 @@ func Run(cfg Config) *Result {
 	s := sim.New(cfg.Seed)
 
 	// Mobility.
-	var prof flight.Profile
-	if cfg.Air {
-		prof = flight.StandardFlight()
-	} else {
-		prof = flight.GroundProfile(6*time.Minute, s.Stream("ground"))
-	}
+	prof, stateAt := setupMobility(cfg, s)
 	dur := cfg.Duration
 	if dur == 0 {
 		dur = prof.Duration()
 	}
-	stateAt := func(at time.Duration) flight.State { return prof.At(at) }
 
-	// Radio access.
-	cellRng := s.Stream("cell")
-	bss := cell.Deployment(cfg.Env, cfg.Op, cellRng)
-	model := cell.NewSignalModel(cfg.Env, bss, cell.DefaultSignalConfigFor(cfg.Env), cellRng)
-	hoCfg := cell.DefaultHandoverConfigFor(cfg.Env)
-	hoCfg.DAPS = cfg.DAPS
-	if cfg.Faults.RLF {
-		hoCfg.RLF = cell.DefaultRLFConfig()
-	}
-	machine := cell.NewMachine(model, hoCfg, cfg.Air, cellRng)
+	// Radio access. A fleet run injects its shared deployment via
+	// cfg.Cells; solo runs draw a private map from the "cell" stream.
+	machine, hoCfg := setupRadio(cfg, s.Stream("cell"))
 
 	res := &Result{Config: cfg, Duration: dur}
 	if cfg.Trace {
@@ -70,6 +58,12 @@ func Run(cfg Config) *Result {
 	upProfile.AQM = cfg.AQM
 	uplink := link.New(s, upProfile, machine, stateAt, s.Stream("uplink"))
 	downlink := link.New(s, link.FeedbackProfile(), machine, stateAt, s.Stream("downlink"))
+	if cfg.CapacityShare != nil {
+		// The fleet scheduler's share scales the media uplink only: the
+		// feedback downlink is tiny control traffic on an overprovisioned
+		// bearer, so contention on it is negligible by design.
+		uplink.SetCapacityShare(cfg.CapacityShare)
+	}
 	if res.Trace != nil {
 		uplink.SetTracer(res.Trace, obs.DirUp)
 		downlink.SetTracer(res.Trace, obs.DirDown)
@@ -122,6 +116,48 @@ func Run(cfg Config) *Result {
 		res.PER = float64(res.PacketsLost) / float64(res.PacketsSent)
 	}
 	return res
+}
+
+// setupMobility builds the flight profile and the (possibly origin-shifted)
+// state lookup. It consumes exactly the "ground" stream for ground runs and
+// nothing for aerial ones; RunFleet's attachment precompute relies on that
+// to replay a UAV's mobility byte-identically outside a full run.
+func setupMobility(cfg Config, s *sim.Simulator) (flight.Profile, func(time.Duration) flight.State) {
+	var prof flight.Profile
+	if cfg.Air {
+		prof = flight.StandardFlight()
+	} else {
+		prof = flight.GroundProfile(6*time.Minute, s.Stream("ground"))
+	}
+	stateAt := func(at time.Duration) flight.State { return prof.At(at) }
+	if cfg.OffsetX != 0 || cfg.OffsetY != 0 {
+		stateAt = func(at time.Duration) flight.State {
+			st := prof.At(at)
+			st.X += cfg.OffsetX
+			st.Y += cfg.OffsetY
+			return st
+		}
+	}
+	return prof, stateAt
+}
+
+// setupRadio builds the deployment (unless cfg.Cells injects a shared one),
+// signal model and handover machine, drawing only from cellRng. RunFleet's
+// attachment precompute calls this with an identically derived stream so
+// its offline handover replay consumes exactly the randomness the live run
+// does — the basis of the fleet's share determinism.
+func setupRadio(cfg Config, cellRng *rand.Rand) (*cell.Machine, cell.HandoverConfig) {
+	bss := cfg.Cells
+	if bss == nil {
+		bss = cell.Deployment(cfg.Env, cfg.Op, cellRng)
+	}
+	model := cell.NewSignalModel(cfg.Env, bss, cell.DefaultSignalConfigFor(cfg.Env), cellRng)
+	hoCfg := cell.DefaultHandoverConfigFor(cfg.Env)
+	hoCfg.DAPS = cfg.DAPS
+	if cfg.Faults.RLF {
+		hoCfg.RLF = cell.DefaultRLFConfig()
+	}
+	return cell.NewMachine(model, hoCfg, cfg.Air, cellRng), hoCfg
 }
 
 // runVideo wires the RTP video pipeline and runs it to completion. bp is

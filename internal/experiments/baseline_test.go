@@ -15,11 +15,15 @@ import (
 // behavior change).
 const baselinePath = "testdata/baseline/urban-gcc.metrics.json"
 
-func readBaseline(t *testing.T) *obs.Registry {
+// fleetBaselinePath is the fleet counterpart (regenerate with
+// `rpbench -scenario fleet-contention -metrics <path>`).
+const fleetBaselinePath = "testdata/baseline/fleet-contention.metrics.json"
+
+func readBaselineAt(t *testing.T, path string) *obs.Registry {
 	t.Helper()
-	f, err := os.Open(filepath.FromSlash(baselinePath))
+	f, err := os.Open(filepath.FromSlash(path))
 	if err != nil {
-		t.Fatalf("baseline missing (regenerate with rpbench -scenario urban-gcc -metrics): %v", err)
+		t.Fatalf("baseline missing (regenerate with rpbench -scenario <name> -metrics): %v", err)
 	}
 	defer f.Close()
 	base, err := obs.ReadRegistryJSON(f)
@@ -27,6 +31,11 @@ func readBaseline(t *testing.T) *obs.Registry {
 		t.Fatal(err)
 	}
 	return base
+}
+
+func readBaseline(t *testing.T) *obs.Registry {
+	t.Helper()
+	return readBaselineAt(t, baselinePath)
 }
 
 // TestBaselineGate is the regression gate end-to-end: the urban-gcc
@@ -58,6 +67,42 @@ func TestBaselineGate(t *testing.T) {
 	found := false
 	for _, d := range drifts {
 		if d.Metric == "counter/packets_sent" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("perturbed baseline not caught: %v", drifts)
+	}
+}
+
+// TestFleetBaselineGate mirrors TestBaselineGate for the fleet-contention
+// scenario: the merged fleet registry (per-UAV metrics plus the fleet_*
+// contention keys) must match the checked-in baseline exactly, and a
+// perturbed baseline must trip the gate.
+func TestFleetBaselineGate(t *testing.T) {
+	sc, err := ScenarioByName("fleet-contention")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := RunFleetScenario(sc, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := fr.MetricsRegistry()
+
+	if drifts := obs.CompareRegistries(readBaselineAt(t, fleetBaselinePath), cur, obs.Tolerance{}); len(drifts) != 0 {
+		for _, d := range drifts {
+			t.Errorf("drift vs baseline: %s", d)
+		}
+		t.Fatal("fleet-contention metrics drifted from testdata/baseline (regenerate the baseline if the change is intentional)")
+	}
+
+	perturbed := readBaselineAt(t, fleetBaselinePath)
+	perturbed.Add("fleet_overload_epochs", 1)
+	drifts := obs.CompareRegistries(perturbed, cur, obs.Tolerance{})
+	found := false
+	for _, d := range drifts {
+		if d.Metric == "counter/fleet_overload_epochs" {
 			found = true
 		}
 	}

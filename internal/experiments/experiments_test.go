@@ -41,6 +41,7 @@ func TestAllExperimentsSatisfyShapeChecks(t *testing.T) {
 		{"robust", Robustness},
 		{"repair", Repair},
 		{"bond", Bond},
+		{"fleet", Fleet},
 	}
 	for _, e := range exps {
 		e := e

@@ -24,16 +24,31 @@ func TestGoldenTraces(t *testing.T) {
 	for _, sc := range Scenarios() {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
-			results, err := RunScenario(sc, 0, 0)
-			if err != nil {
-				t.Fatal(err)
-			}
 			var trace, metrics bytes.Buffer
-			if err := core.WriteCampaignTrace(&trace, results); err != nil {
-				t.Fatal(err)
-			}
-			if err := core.WriteCampaignMetrics(&metrics, results); err != nil {
-				t.Fatal(err)
+			if sc.Fleet > 0 {
+				// Fleet scenarios pin the cell event timeline (the fleet
+				// counterpart of the per-run trace) and the merged registry.
+				fr, err := RunFleetScenario(sc, 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := fr.WriteCellEvents(&trace); err != nil {
+					t.Fatal(err)
+				}
+				if err := fr.WriteMetrics(&metrics); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				results, err := RunScenario(sc, 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := core.WriteCampaignTrace(&trace, results); err != nil {
+					t.Fatal(err)
+				}
+				if err := core.WriteCampaignMetrics(&metrics, results); err != nil {
+					t.Fatal(err)
+				}
 			}
 			compareGolden(t, filepath.Join("testdata", "golden", sc.Name+".jsonl"), trace.Bytes())
 			compareGolden(t, filepath.Join("testdata", "golden", sc.Name+".metrics.json"), metrics.Bytes())

@@ -254,5 +254,6 @@ func All(o Options) []*Report {
 		Robustness(o),
 		Repair(o),
 		Bond(o),
+		Fleet(o),
 	}
 }

@@ -26,6 +26,12 @@ type Scenario struct {
 	Config core.Config
 	// Runs is the campaign size.
 	Runs int
+	// Fleet, when positive, makes this a fleet scenario: Fleet UAVs run
+	// against one shared base-station map (core.RunFleet) instead of a
+	// campaign of independent runs. Sched selects the per-cell PRB
+	// scheduler. Fleet scenarios go through RunFleetScenario.
+	Fleet int
+	Sched cell.SchedulerKind
 }
 
 // Scenarios returns the named observability scenarios.
@@ -104,6 +110,20 @@ func Scenarios() []Scenario {
 			},
 			Runs: 1,
 		},
+		{
+			Name: "fleet-contention",
+			Desc: "urban aerial static-rate fleet of 8 on one shared cell map (round-robin PRB split), 3 s — the contention trace",
+			Config: core.Config{
+				Env:      cell.Urban,
+				Op:       cell.P1,
+				Air:      true,
+				CC:       core.CCStatic,
+				Seed:     1,
+				Duration: 3 * time.Second,
+			},
+			Runs:  1,
+			Fleet: 8,
+		},
 	}
 }
 
@@ -122,6 +142,9 @@ func ScenarioByName(name string) (Scenario, error) {
 // scenario's base seed when non-zero; workers is the campaign worker count
 // (0 = one per CPU). Results are identical at any worker count.
 func RunScenario(sc Scenario, seed int64, workers int) ([]*core.Result, error) {
+	if sc.Fleet > 0 {
+		return nil, fmt.Errorf("scenario %s is a fleet scenario: use RunFleetScenario", sc.Name)
+	}
 	cfg := sc.Config
 	cfg.Trace = true
 	if seed != 0 {
@@ -134,4 +157,33 @@ func RunScenario(sc Scenario, seed int64, workers int) ([]*core.Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// RunFleetScenario executes a fleet scenario: sc.Fleet UAVs on one shared
+// base-station map under sc.Sched, with the per-cell event timeline always
+// recorded (it is the fleet counterpart of the per-run trace). seed
+// overrides the scenario's base seed when non-zero; workers caps the
+// per-UAV phases (0 = one per CPU). The result is byte-identical at any
+// worker count.
+func RunFleetScenario(sc Scenario, seed int64, workers int) (*core.FleetResult, error) {
+	if sc.Fleet <= 0 {
+		return nil, fmt.Errorf("scenario %s is not a fleet scenario", sc.Name)
+	}
+	cfg := sc.Config
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	fr, errs := core.RunFleet(core.FleetConfig{
+		Config:  cfg,
+		Size:    sc.Fleet,
+		Sched:   sc.Sched,
+		Workers: workers,
+		Events:  true,
+	})
+	for u, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s uav %d: %w", sc.Name, u, err)
+		}
+	}
+	return fr, nil
 }

@@ -83,6 +83,10 @@ type Link struct {
 	// machine supplies handover interruptions and radio degradation; nil
 	// for a static (no-mobility) link.
 	machine *cell.Machine
+	// shareFn, when non-nil, returns the fleet scheduler's capacity share
+	// for this UE at a given time (1 = sole tenancy of the serving cell).
+	// It multiplies into every capacity read, advancing and peeking alike.
+	shareFn func(time.Duration) float64
 	// faults is this direction's scripted outage line; nil means none.
 	faults *fault.Line
 	// flushStale drops queued packets older than staleAfter when an
@@ -349,12 +353,22 @@ func (l *Link) capacity(now time.Duration) float64 {
 	return c
 }
 
-// effectiveCapacity folds in the handover radio degradation; it returns 0
-// when the link is interrupted.
+// SetCapacityShare installs a fleet capacity-share lookup: effective
+// capacity is multiplied by fn(now) ∈ (0, 1], the fraction of the serving
+// cell's PRBs the scheduler grants this UE. The lookup must be a pure
+// function of time (no randomness) so observation stays side-effect free.
+// nil restores sole tenancy.
+func (l *Link) SetCapacityShare(fn func(time.Duration) float64) { l.shareFn = fn }
+
+// effectiveCapacity folds in the handover radio degradation and the fleet
+// capacity share; it returns 0 when the link is interrupted.
 func (l *Link) effectiveCapacity(now time.Duration) float64 {
 	c := l.capacity(now)
 	if l.machine != nil {
 		c *= l.machine.RadioDegradation(now)
+	}
+	if l.shareFn != nil {
+		c *= l.shareFn(now)
 	}
 	return c
 }
@@ -524,6 +538,9 @@ func (l *Link) QueueDelay() time.Duration {
 	c := l.peekCapacity()
 	if l.machine != nil {
 		c *= l.machine.RadioDegradation(l.sim.Now())
+	}
+	if l.shareFn != nil {
+		c *= l.shareFn(l.sim.Now())
 	}
 	return l.queueDelayAt(c)
 }

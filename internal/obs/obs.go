@@ -85,6 +85,20 @@ const (
 	// too late (its slot was already released to the player). Seq:
 	// extended media sequence number.
 	KindReorderDrop
+	// KindCellAttach is a fleet UE camping on a cell (first attach or the
+	// attach half of a handover), sampled at scheduling-epoch granularity.
+	// Seq: UAV index; Aux: cell ID; V: serving RSRP (dBm).
+	KindCellAttach
+	// KindCellDetach is a fleet UE leaving a cell (the detach half of a
+	// handover). Seq: UAV index; Aux: cell ID.
+	KindCellDetach
+	// KindCellOverloadStart is a shared cell entering overload: at least
+	// two attached UEs and some UE's scheduled share below the overload
+	// floor. Seq: cell ID; Aux: attached users; V: the epoch's min share.
+	KindCellOverloadStart
+	// KindCellOverloadEnd is the cell leaving overload (or emptying).
+	// Seq: cell ID; Aux: attached users at the transition (0 if emptied).
+	KindCellOverloadEnd
 )
 
 // String implements fmt.Stringer; the strings are the JSONL kind values.
@@ -128,6 +142,14 @@ func (k Kind) String() string {
 		return "failover"
 	case KindReorderDrop:
 		return "reorder-drop"
+	case KindCellAttach:
+		return "cell-attach"
+	case KindCellDetach:
+		return "cell-detach"
+	case KindCellOverloadStart:
+		return "cell-overload-start"
+	case KindCellOverloadEnd:
+		return "cell-overload-end"
 	default:
 		return "unknown"
 	}

@@ -11,7 +11,7 @@ import (
 // KindFromString maps a JSONL kind value back to its Kind. It is the
 // inverse of Kind.String for every kind WriteJSONL emits.
 func KindFromString(s string) (Kind, bool) {
-	for k := KindSend; k <= KindReorderDrop; k++ {
+	for k := KindSend; k <= KindCellOverloadEnd; k++ {
 		if k.String() == s {
 			return k, true
 		}

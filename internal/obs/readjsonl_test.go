@@ -93,7 +93,7 @@ func TestJSONLErrors(t *testing.T) {
 // TestKindDirStringInverses pins the name tables as actual inverses, so a
 // new Kind cannot silently become unreadable.
 func TestKindDirStringInverses(t *testing.T) {
-	for k := KindSend; k <= KindReorderDrop; k++ {
+	for k := KindSend; k <= KindCellOverloadEnd; k++ {
 		got, ok := KindFromString(k.String())
 		if !ok || got != k {
 			t.Errorf("kind %d (%s) does not round-trip", k, k)

@@ -23,6 +23,10 @@ var (
 	SSIMBuckets = []float64{0, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.98, 1}
 	// FPSBuckets covers frames-played-per-second samples.
 	FPSBuckets = []float64{0, 5, 10, 15, 20, 24, 28, 30, 35}
+	// ShareBuckets covers per-UE scheduled capacity shares in (0, 1]: the
+	// fleet scheduler's grant distribution. The last edge is exactly 1 so
+	// the overflow bucket stays empty unless conservation breaks.
+	ShareBuckets = []float64{0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
 )
 
 // Histogram is a fixed-bucket histogram: Counts[i] tallies observations
@@ -56,6 +60,10 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.Overflow++
 }
+
+// Merge folds o into h bucket-by-bucket. The layouts must match (it
+// panics otherwise, like Registry.Merge).
+func (h *Histogram) Merge(o *Histogram) { h.merge("histogram", o) }
 
 // merge folds o into h. The layouts must match.
 func (h *Histogram) merge(name string, o *Histogram) {

@@ -223,3 +223,34 @@ func Summarize(results []*Result) *Summary { return core.Summarize(results) }
 func RunCampaignSummary(cfg Config, runs int, opts CampaignOptions) (*Summary, []error) {
 	return core.RunCampaignSummary(cfg, runs, opts)
 }
+
+// FleetConfig runs N UAVs in one process against one shared base-station
+// map with per-cell PRB schedulers, so every UAV attached to a cell
+// splits its capacity. Results are byte-identical at any worker count.
+// See internal/core/fleet.go for field docs and DESIGN.md §10 for the
+// model.
+type FleetConfig = core.FleetConfig
+
+// FleetResult is the aggregate of one fleet execution: the folded
+// summary, per-UAV goodput distribution, per-cell contention stats and
+// the attach/detach/overload event timeline.
+type FleetResult = core.FleetResult
+
+// SchedulerKind selects the per-cell PRB scheduler for fleet runs.
+type SchedulerKind = cell.SchedulerKind
+
+// Per-cell PRB schedulers.
+const (
+	// SchedRR splits a cell's capacity equally among attached UAVs.
+	SchedRR = cell.SchedRR
+	// SchedPF weights shares by per-UAV spectral efficiency.
+	SchedPF = cell.SchedPF
+)
+
+// RunFleet executes a fleet of UAVs against one shared cell deployment.
+// The per-UAV errs slice is indexed by UAV; a nil result with a single
+// error reports a configuration rejection (e.g. a bonded base config).
+func RunFleet(fc FleetConfig) (*FleetResult, []error) { return core.RunFleet(fc) }
+
+// ParseFleetSpec parses a CLI fleet spec: "N" or "N/rr|pf".
+func ParseFleetSpec(spec string) (int, SchedulerKind, error) { return core.ParseFleetSpec(spec) }
