@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"rpivideo/internal/dist"
+	"rpivideo/internal/experiments"
+	"rpivideo/internal/obs"
+	"rpivideo/internal/obs/analyze"
+)
+
+// runWorker is the -worker entrypoint: speak the dist protocol on
+// stdin/stdout until the coordinator closes the stream.
+func runWorker() error {
+	return dist.Serve(os.Stdin, os.Stdout, experiments.DistRunner{})
+}
+
+// runDistScenario shards a scenario campaign across c.distWorkers rpbench
+// subprocesses (each re-exec'd with -worker) and writes the same exports as
+// the serial path, byte-identically. The campaign size is the scenario's own
+// Runs unless -runs was given explicitly.
+func runDistScenario(c *cliConfig, sc experiments.Scenario, exp scenarioExports) (drifted bool, err error) {
+	seed := c.seed
+	if seed == 1 {
+		seed = 0 // default flag value: keep the scenario's pinned seed
+	}
+	runs := sc.Runs
+	if c.runsSet {
+		runs = c.runs
+	}
+	spec := experiments.DistSpec{Scenario: sc.Name, Seed: seed, RunTimeout: c.runTimeout}
+	rawSpec, err := json.Marshal(spec)
+	if err != nil {
+		return false, err
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		return false, fmt.Errorf("locating the rpbench binary for -worker re-exec: %w", err)
+	}
+	peers, err := dist.StartProcs(c.distWorkers, func(i int) *exec.Cmd {
+		return exec.Command(exe, "-worker")
+	})
+	if err != nil {
+		return false, err
+	}
+
+	reg := obs.NewRegistry()
+	out, err := dist.Run(rawSpec, dist.Config{
+		Runs:      runs,
+		ChunkSize: c.distChunk,
+		Metrics:   reg,
+		Events:    logDistEvent,
+	}, peers)
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintf(os.Stderr,
+		"rpbench: dist %d workers: %d chunks, %d leases granted (%d reissued), %d shards, %d workers lost, %d stragglers killed, %d chunks failed\n",
+		c.distWorkers, reg.Counter("dist_chunks"), reg.Counter("dist_leases_granted"),
+		reg.Counter("dist_leases_reissued"), reg.Counter("dist_shards_received"),
+		reg.Counter("dist_workers_lost"), reg.Counter("dist_stragglers_killed"),
+		reg.Counter("dist_chunks_failed"))
+	if err := out.Err(); err != nil {
+		return false, err
+	}
+	failed := 0
+	for run, rerr := range out.RunErrs {
+		if rerr != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "rpbench: run %d failed: %v\n", run, rerr)
+		}
+	}
+	if failed > 0 {
+		return false, fmt.Errorf("%d of %d runs failed", failed, runs)
+	}
+
+	camp, err := experiments.FoldDistShards(spec, out)
+	if err != nil {
+		return false, err
+	}
+	if exp.trace != "" {
+		if err := writeFileWith(exp.trace, func(f *os.File) error {
+			_, err := f.Write(camp.Trace)
+			return err
+		}); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(os.Stderr, "rpbench: wrote trace %s\n", exp.trace)
+	}
+	if exp.metrics != "" {
+		if err := writeFileWith(exp.metrics, func(f *os.File) error {
+			return camp.Registry.WriteJSON(f)
+		}); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(os.Stderr, "rpbench: wrote metrics %s\n", exp.metrics)
+	}
+	if exp.report != "" {
+		// The folded trace is byte-identical to a live serial trace, and a
+		// replayed bundle is byte-identical to a live one, so replaying the
+		// fold gives exactly the serial -report output.
+		runsMeta, err := obs.ReadJSONL(bytes.NewReader(camp.Trace))
+		if err != nil {
+			return false, err
+		}
+		if err := analyze.WriteBundle(exp.report, analyze.Trace(runsMeta)); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(os.Stderr, "rpbench: wrote report bundle %s\n", exp.report)
+	}
+	if exp.compare != "" {
+		f, err := os.Open(exp.compare)
+		if err != nil {
+			return false, err
+		}
+		base, err := obs.ReadRegistryJSON(f)
+		f.Close()
+		if err != nil {
+			return false, err
+		}
+		drifts := obs.CompareRegistries(base, camp.Registry, obs.Tolerance{Default: exp.tolerance})
+		for _, d := range drifts {
+			fmt.Fprintln(os.Stderr, "rpbench: drift:", d)
+		}
+		if len(drifts) > 0 {
+			fmt.Fprintf(os.Stderr, "rpbench: %d metric(s) drifted from %s\n", len(drifts), exp.compare)
+			drifted = true
+		} else {
+			fmt.Fprintf(os.Stderr, "rpbench: metrics match baseline %s\n", exp.compare)
+		}
+	}
+	s := camp.Summary
+	fmt.Printf("scenario %s: %d runs, %d packets sent, %d delivered, %d frames played, %d skipped\n",
+		sc.Name, s.Runs, s.PacketsSent, s.PacketsDelivered, s.FramesPlayed, s.FramesSkipped)
+	return drifted, nil
+}
+
+// logDistEvent surfaces the coordinator's notable fault-handling decisions
+// on stderr; routine grants and completions stay quiet.
+func logDistEvent(e dist.Event) {
+	switch e.Kind {
+	case dist.EvWorkerLost, dist.EvLeaseExpired, dist.EvStragglerKilled, dist.EvChunkFailed, dist.EvRunError, dist.EvChunkDuplicate:
+		fmt.Fprintf(os.Stderr, "rpbench: dist: %s\n", e)
+	}
+}

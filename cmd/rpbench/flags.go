@@ -1,0 +1,189 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// cliConfig is every rpbench flag, parsed into one struct so the legal
+// flag combinations are decided in exactly one place (validate) instead of
+// scattered through the mode dispatch.
+type cliConfig struct {
+	// Experiment mode.
+	fig        string
+	runs       int
+	runsSet    bool // -runs was given explicitly (matters for -dist)
+	seed       int64
+	workers    int
+	faults     string
+	bondPolicy string
+	list       bool
+
+	// Scenario / observability mode.
+	scenario  string
+	fleetSpec string
+	trace     string
+	metrics   string
+	report    string
+	analyze   string
+	compare   string
+	tolerance float64
+
+	// Benchmarks.
+	bench          string
+	benchCompare   string
+	benchTolerance float64
+	benchSeconds   float64
+	benchDur       time.Duration
+
+	pprof string
+
+	// Distributed campaigns.
+	distWorkers int
+	distChunk   int
+	runTimeout  time.Duration
+	worker      bool
+}
+
+// parseFlags parses args (not including the program name) into a cliConfig.
+// It does not validate combinations; call validate next.
+func parseFlags(args []string) (*cliConfig, error) {
+	c := &cliConfig{}
+	fs := flag.NewFlagSet("rpbench", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.StringVar(&c.fig, "fig", "all", "experiment ID to run, or 'all'")
+	fs.IntVar(&c.runs, "runs", 3, "seeded repetitions per configuration")
+	fs.Int64Var(&c.seed, "seed", 1, "base seed")
+	fs.IntVar(&c.workers, "workers", runtime.GOMAXPROCS(0),
+		"concurrent campaign runs (results are identical at any setting)")
+	fs.StringVar(&c.faults, "faults", "",
+		"scripted fault schedule for the robust/repair/bond experiments: \"start+dur\" outages, \"start~dur\" loss fades, @p1/@p2 path scopes, e.g. \"45s+2s,70s~80ms/up\" or \"45s+2s@p1\"")
+	fs.StringVar(&c.bondPolicy, "bond", "",
+		"restrict the bond experiment to one scheduler policy (duplicate, failover, cheapest, spray); empty compares all four")
+	fs.BoolVar(&c.list, "list", false, "list experiment and scenario IDs and exit")
+	fs.StringVar(&c.scenario, "scenario", "", "run a named observability scenario instead of experiments")
+	fs.StringVar(&c.fleetSpec, "fleet", "", "run the scenario as a fleet of N UAVs on one shared cell map: \"N\" or \"N/rr|pf\" (requires -scenario; overrides the scenario's own fleet setting)")
+	fs.StringVar(&c.trace, "trace", "", "write the scenario's event trace as JSONL to this file (requires -scenario)")
+	fs.StringVar(&c.metrics, "metrics", "", "write the scenario's campaign metrics as JSON to this file (requires -scenario)")
+	fs.StringVar(&c.report, "report", "", "write an analyzer report bundle (series/epochs/outages CSV + summary.json) to this directory (requires -scenario or -analyze)")
+	fs.StringVar(&c.analyze, "analyze", "", "replay a JSONL trace file through the analyzer instead of simulating (use with -report)")
+	fs.StringVar(&c.compare, "compare", "", "regression gate: diff the scenario's campaign metrics against this baseline registry JSON, exit 1 on drift (requires -scenario)")
+	fs.Float64Var(&c.tolerance, "tolerance", 0, "default relative drift tolerance for -compare (campaigns are deterministic, so 0 = exact is the expected gate)")
+	fs.StringVar(&c.bench, "benchout", "", "write benchmark stats as JSON: with -scenario, untraced event-loop speed (BENCH_run.json); otherwise campaign stats after the experiments run")
+	fs.StringVar(&c.benchCompare, "benchcompare", "", "perf regression gate: compare the -benchout speed against this baseline BENCH_run.json, exit 1 when sim_seconds_per_wall_second falls below baseline*(1-benchtolerance) (requires -scenario -benchout)")
+	fs.Float64Var(&c.benchTolerance, "benchtolerance", 0.5, "relative slowdown tolerated by -benchcompare (0.5 = fail below half the baseline speed; generous because CI machines vary)")
+	fs.Float64Var(&c.benchSeconds, "benchseconds", 1.5, "minimum wall-clock seconds of untraced repetitions for the -scenario benchmark")
+	fs.DurationVar(&c.benchDur, "benchdur", 30*time.Second, "simulated duration of each benchmark repetition (0 = the scenario's own duration); the default stretches short scenarios to steady state so the metric reflects event-loop throughput, not setup amortization")
+	fs.StringVar(&c.pprof, "pprof", "", "serve net/http/pprof and /debug/runtime-metrics on this address while running")
+	fs.IntVar(&c.distWorkers, "dist", 0, "shard the scenario campaign across N local worker subprocesses with leased chunks and crash recovery (requires -scenario; campaign size is the scenario's runs unless -runs is given)")
+	fs.IntVar(&c.distChunk, "distchunk", 0, "runs per leased chunk for -dist (0 = auto: runs/(4·workers), at least 1)")
+	fs.DurationVar(&c.runTimeout, "runtimeout", 0, "per-run wall-clock watchdog inside -dist workers: a run exceeding this becomes that run's recorded error (0 = off)")
+	fs.BoolVar(&c.worker, "worker", false, "run as a distributed campaign worker speaking the dist protocol on stdin/stdout (internal: rpbench -dist spawns these)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "runs" {
+			c.runsSet = true
+		}
+	})
+	return c, nil
+}
+
+// validate rejects illegal flag combinations. Every rule lives here — the
+// mode dispatch in main assumes a validated config and never re-checks.
+func (c *cliConfig) validate() error {
+	if c.worker {
+		// The worker owns stdin/stdout for the protocol; any other mode
+		// flag indicates a confused invocation, not a tolerable extra.
+		switch {
+		case c.scenario != "", c.distWorkers != 0, c.analyze != "", c.list,
+			c.fleetSpec != "", c.trace != "", c.metrics != "", c.report != "",
+			c.compare != "", c.bench != "", c.benchCompare != "", c.fig != "all":
+			return errors.New("-worker is the distributed-campaign subprocess entrypoint and takes no other mode flags")
+		}
+		return nil
+	}
+	if c.runs < 1 {
+		return errors.New("-runs must be at least 1")
+	}
+	if c.tolerance < 0 {
+		return errors.New("-tolerance must not be negative")
+	}
+
+	if c.analyze != "" {
+		if c.report == "" {
+			return errors.New("-analyze needs -report <dir> for the bundle")
+		}
+		if c.scenario != "" {
+			return errors.New("-analyze replays a trace file and cannot be combined with -scenario")
+		}
+		if c.trace != "" || c.metrics != "" || c.compare != "" || c.bench != "" || c.benchCompare != "" {
+			return errors.New("-analyze supports only -report (the other exports need a live scenario run)")
+		}
+		if c.distWorkers != 0 {
+			return errors.New("-dist shards live scenario campaigns and cannot be combined with -analyze")
+		}
+		return nil
+	}
+
+	if c.scenario == "" {
+		if c.fleetSpec != "" {
+			return errors.New("-fleet requires -scenario (use -list for scenario IDs)")
+		}
+		if c.trace != "" || c.metrics != "" || c.report != "" || c.compare != "" {
+			return errors.New("-trace/-metrics/-report/-compare require -scenario (use -list for scenario IDs)")
+		}
+		if c.distWorkers != 0 {
+			return errors.New("-dist requires -scenario (use -list for scenario IDs)")
+		}
+		if c.benchCompare != "" {
+			return errors.New("-benchcompare requires -scenario -benchout")
+		}
+	}
+
+	if c.distWorkers < 0 {
+		return errors.New("-dist needs a positive worker count")
+	}
+	if c.distChunk != 0 && c.distWorkers == 0 {
+		return errors.New("-distchunk requires -dist")
+	}
+	if c.distChunk < 0 {
+		return errors.New("-distchunk must not be negative")
+	}
+	if c.runTimeout != 0 && c.distWorkers == 0 {
+		return errors.New("-runtimeout requires -dist (serial scenario runs are watchdogged by the campaign engine)")
+	}
+	if c.runTimeout < 0 {
+		return errors.New("-runtimeout must not be negative")
+	}
+	if c.distWorkers > 0 {
+		if c.fleetSpec != "" {
+			return errors.New("-dist cannot shard a fleet (a fleet shares one cell map; chunks are independent runs)")
+		}
+		if c.bench != "" || c.benchCompare != "" {
+			return errors.New("-benchout/-benchcompare measure the in-process event loop and cannot be combined with -dist")
+		}
+	}
+
+	if c.fleetSpec != "" {
+		if c.report != "" {
+			return errors.New("-report is not supported for fleet runs (the analyzer consumes per-run traces)")
+		}
+		if c.benchCompare != "" {
+			return errors.New("-benchcompare is not supported for fleet runs (the fleet bench payload has its own schema)")
+		}
+	}
+
+	if c.benchCompare != "" && c.bench == "" {
+		return errors.New("-benchcompare requires -benchout")
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// mustParse parses a legal command line or fails the test.
+func mustParse(t *testing.T, args ...string) *cliConfig {
+	t.Helper()
+	c, err := parseFlags(args)
+	if err != nil {
+		t.Fatalf("parseFlags(%v): %v", args, err)
+	}
+	return c
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	c := mustParse(t)
+	if c.fig != "all" || c.runs != 3 || c.seed != 1 {
+		t.Fatalf("unexpected defaults: fig=%q runs=%d seed=%d", c.fig, c.runs, c.seed)
+	}
+	if c.runsSet {
+		t.Fatal("runsSet should be false when -runs is not given")
+	}
+	if c.distWorkers != 0 || c.distChunk != 0 || c.worker {
+		t.Fatalf("dist flags should default off: dist=%d distchunk=%d worker=%v", c.distWorkers, c.distChunk, c.worker)
+	}
+	if err := c.validate(); err != nil {
+		t.Fatalf("defaults should validate: %v", err)
+	}
+}
+
+func TestParseFlagsTracksExplicitRuns(t *testing.T) {
+	c := mustParse(t, "-runs", "3")
+	if !c.runsSet {
+		t.Fatal("runsSet should be true when -runs is given, even at the default value")
+	}
+}
+
+func TestParseFlagsRejectsPositionalArgs(t *testing.T) {
+	if _, err := parseFlags([]string{"-list", "stray"}); err == nil {
+		t.Fatal("positional arguments should be rejected")
+	}
+}
+
+// TestValidateRejectsIllegalCombos drives validate through every rejected
+// flag combination, one case per rule.
+func TestValidateRejectsIllegalCombos(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"worker with scenario", []string{"-worker", "-scenario", "urban-gcc"}, "-worker"},
+		{"worker with dist", []string{"-worker", "-dist", "2"}, "-worker"},
+		{"worker with fig", []string{"-worker", "-fig", "fig6"}, "-worker"},
+		{"worker with list", []string{"-worker", "-list"}, "-worker"},
+		{"worker with benchout", []string{"-worker", "-benchout", "b.json"}, "-worker"},
+		{"zero runs", []string{"-runs", "0"}, "-runs"},
+		{"negative tolerance", []string{"-tolerance", "-0.1"}, "-tolerance"},
+		{"analyze without report", []string{"-analyze", "t.jsonl"}, "-report"},
+		{"analyze with scenario", []string{"-analyze", "t.jsonl", "-report", "out", "-scenario", "urban-gcc"}, "-scenario"},
+		{"analyze with metrics", []string{"-analyze", "t.jsonl", "-report", "out", "-metrics", "m.json"}, "live scenario"},
+		{"analyze with dist", []string{"-analyze", "t.jsonl", "-report", "out", "-dist", "2"}, "-dist"},
+		{"fleet without scenario", []string{"-fleet", "10"}, "-fleet requires -scenario"},
+		{"trace without scenario", []string{"-trace", "t.jsonl"}, "require -scenario"},
+		{"metrics without scenario", []string{"-metrics", "m.json"}, "require -scenario"},
+		{"report without scenario", []string{"-report", "out"}, "require -scenario"},
+		{"compare without scenario", []string{"-compare", "b.json"}, "require -scenario"},
+		{"dist without scenario", []string{"-dist", "4"}, "-dist requires -scenario"},
+		{"negative dist", []string{"-scenario", "urban-gcc", "-dist", "-1"}, "-dist"},
+		{"distchunk without dist", []string{"-scenario", "urban-gcc", "-distchunk", "2"}, "-distchunk requires -dist"},
+		{"negative distchunk", []string{"-scenario", "urban-gcc", "-dist", "2", "-distchunk", "-3"}, "-distchunk"},
+		{"runtimeout without dist", []string{"-scenario", "urban-gcc", "-runtimeout", "5s"}, "-runtimeout requires -dist"},
+		{"dist with fleet", []string{"-scenario", "urban-gcc", "-dist", "2", "-fleet", "10"}, "fleet"},
+		{"dist with benchout", []string{"-scenario", "urban-gcc", "-dist", "2", "-benchout", "b.json"}, "-benchout"},
+		{"fleet with report", []string{"-scenario", "urban-gcc", "-fleet", "10", "-report", "out"}, "-report is not supported for fleet"},
+		{"fleet with benchcompare", []string{"-scenario", "urban-gcc", "-fleet", "10", "-benchout", "b.json", "-benchcompare", "base.json"}, "fleet"},
+		{"benchcompare without benchout", []string{"-scenario", "urban-gcc", "-benchcompare", "base.json"}, "-benchout"},
+		{"benchcompare without scenario", []string{"-benchcompare", "base.json"}, "-benchcompare requires -scenario"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := parseFlags(tc.args)
+			if err != nil {
+				t.Fatalf("parseFlags(%v): %v", tc.args, err)
+			}
+			err = c.validate()
+			if err == nil {
+				t.Fatalf("validate(%v) accepted an illegal combination", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("validate(%v) = %q, want it to mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateAcceptsLegalCombos pins the combinations the modes rely on.
+func TestValidateAcceptsLegalCombos(t *testing.T) {
+	cases := [][]string{
+		{"-list"},
+		{"-fig", "fig6", "-runs", "5", "-seed", "7"},
+		{"-worker"},
+		{"-worker", "-runs", "0"}, // worker mode ignores campaign knobs entirely
+		{"-scenario", "urban-gcc", "-trace", "t.jsonl", "-metrics", "m.json", "-report", "out", "-compare", "b.json"},
+		{"-scenario", "urban-gcc", "-fleet", "10/pf", "-metrics", "m.json"},
+		{"-scenario", "urban-gcc", "-benchout", "b.json", "-benchcompare", "base.json"},
+		{"-analyze", "t.jsonl", "-report", "out"},
+		{"-scenario", "urban-gcc", "-dist", "4"},
+		{"-scenario", "urban-gcc", "-dist", "4", "-distchunk", "2", "-runs", "32", "-runtimeout", "30s"},
+		{"-scenario", "urban-gcc", "-dist", "4", "-trace", "t.jsonl", "-metrics", "m.json", "-report", "out", "-compare", "b.json"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := mustParse(t, args...).validate(); err != nil {
+				t.Fatalf("validate(%v): %v", args, err)
+			}
+		})
+	}
+}
+
+func TestValidateRunTimeoutBounds(t *testing.T) {
+	c := mustParse(t, "-scenario", "urban-gcc", "-dist", "2")
+	c.runTimeout = -time.Second
+	if err := c.validate(); err == nil {
+		t.Fatal("negative -runtimeout should be rejected")
+	}
+}

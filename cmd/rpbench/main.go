@@ -23,6 +23,16 @@
 // setting, and a report built from a live run matches one replayed from its
 // JSONL trace byte for byte.
 //
+// Distributed campaigns:
+//
+//	rpbench -scenario urban-gcc -dist 4 -metrics out.json  # shard across 4 worker subprocesses
+//	rpbench -scenario urban-gcc -dist 4 -runs 32 -distchunk 2 -trace out.jsonl
+//
+// -dist shards the campaign's run indices into leased chunks across N
+// rpbench subprocesses (re-exec'd with the internal -worker flag); crashed,
+// hung or straggling workers lose their leases and the chunks are re-issued,
+// and every export stays byte-identical to the serial -scenario path.
+//
 // Regression gate and campaign benchmarks:
 //
 //	rpbench -scenario urban-gcc -compare baseline.json  # exit 1 on drift
@@ -34,6 +44,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -78,33 +89,28 @@ var registry = []struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "experiment ID to run, or 'all'")
-	runs := flag.Int("runs", 3, "seeded repetitions per configuration")
-	seed := flag.Int64("seed", 1, "base seed")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
-		"concurrent campaign runs (results are identical at any setting)")
-	faults := flag.String("faults", "",
-		"scripted fault schedule for the robust/repair/bond experiments: \"start+dur\" outages, \"start~dur\" loss fades, @p1/@p2 path scopes, e.g. \"45s+2s,70s~80ms/up\" or \"45s+2s@p1\"")
-	bondPolicy := flag.String("bond", "",
-		"restrict the bond experiment to one scheduler policy (duplicate, failover, cheapest, spray); empty compares all four")
-	list := flag.Bool("list", false, "list experiment and scenario IDs and exit")
-	scenario := flag.String("scenario", "", "run a named observability scenario instead of experiments")
-	fleetSpec := flag.String("fleet", "", "run the scenario as a fleet of N UAVs on one shared cell map: \"N\" or \"N/rr|pf\" (requires -scenario; overrides the scenario's own fleet setting)")
-	tracePath := flag.String("trace", "", "write the scenario's event trace as JSONL to this file (requires -scenario)")
-	metricsPath := flag.String("metrics", "", "write the scenario's campaign metrics as JSON to this file (requires -scenario)")
-	reportDir := flag.String("report", "", "write an analyzer report bundle (series/epochs/outages CSV + summary.json) to this directory (requires -scenario or -analyze)")
-	analyzePath := flag.String("analyze", "", "replay a JSONL trace file through the analyzer instead of simulating (use with -report)")
-	comparePath := flag.String("compare", "", "regression gate: diff the scenario's campaign metrics against this baseline registry JSON, exit 1 on drift (requires -scenario)")
-	tolerance := flag.Float64("tolerance", 0, "default relative drift tolerance for -compare (campaigns are deterministic, so 0 = exact is the expected gate)")
-	benchPath := flag.String("benchout", "", "write benchmark stats as JSON: with -scenario, untraced event-loop speed (BENCH_run.json); otherwise campaign stats after the experiments run")
-	benchComparePath := flag.String("benchcompare", "", "perf regression gate: compare the -benchout speed against this baseline BENCH_run.json, exit 1 when sim_seconds_per_wall_second falls below baseline*(1-benchtolerance) (requires -scenario -benchout)")
-	benchTolerance := flag.Float64("benchtolerance", 0.5, "relative slowdown tolerated by -benchcompare (0.5 = fail below half the baseline speed; generous because CI machines vary)")
-	benchSeconds := flag.Float64("benchseconds", 1.5, "minimum wall-clock seconds of untraced repetitions for the -scenario benchmark")
-	benchDur := flag.Duration("benchdur", 30*time.Second, "simulated duration of each benchmark repetition (0 = the scenario's own duration); the default stretches short scenarios to steady state so the metric reflects event-loop throughput, not setup amortization")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/runtime-metrics on this address while running")
-	flag.Parse()
+	c, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "rpbench:", err)
+		os.Exit(2)
+	}
+	if err := c.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "rpbench:", err)
+		os.Exit(2)
+	}
 
-	if *list {
+	if c.worker {
+		if err := runWorker(); err != nil {
+			fmt.Fprintln(os.Stderr, "rpbench worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if c.list {
 		for _, e := range registry {
 			fmt.Printf("%-10s %s\n", e.id, e.desc)
 		}
@@ -114,8 +120,8 @@ func main() {
 		return
 	}
 
-	if *pprofAddr != "" {
-		srv, addr, err := obs.Serve(*pprofAddr)
+	if c.pprof != "" {
+		srv, addr, err := obs.Serve(c.pprof)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rpbench:", err)
 			os.Exit(1)
@@ -124,26 +130,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rpbench: pprof on http://%s/debug/pprof/\n", addr)
 	}
 
-	if *analyzePath != "" {
-		if *reportDir == "" {
-			fmt.Fprintln(os.Stderr, "rpbench: -analyze needs -report <dir> for the bundle")
-			os.Exit(2)
-		}
-		if err := replayTrace(*analyzePath, *reportDir); err != nil {
+	if c.analyze != "" {
+		if err := replayTrace(c.analyze, c.report); err != nil {
 			fmt.Fprintln(os.Stderr, "rpbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if *scenario != "" {
-		sc, err := experiments.ScenarioByName(*scenario)
+	if c.scenario != "" {
+		sc, err := experiments.ScenarioByName(c.scenario)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rpbench:", err)
 			os.Exit(2)
 		}
-		if *fleetSpec != "" {
-			size, sched, err := core.ParseFleetSpec(*fleetSpec)
+		if c.fleetSpec != "" {
+			size, sched, err := core.ParseFleetSpec(c.fleetSpec)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "rpbench: -fleet:", err)
 				os.Exit(2)
@@ -151,34 +153,37 @@ func main() {
 			sc.Fleet, sc.Sched = size, sched
 		}
 		exports := scenarioExports{
-			trace: *tracePath, metrics: *metricsPath, report: *reportDir,
-			compare: *comparePath, tolerance: *tolerance,
+			trace: c.trace, metrics: c.metrics, report: c.report,
+			compare: c.compare, tolerance: c.tolerance,
 		}
 		var drifted bool
-		if sc.Fleet > 0 {
-			drifted, err = runFleetScenario(sc, *seed, *workers, exports)
+		switch {
+		case c.distWorkers > 0:
+			drifted, err = runDistScenario(c, sc, exports)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "rpbench:", err)
 				os.Exit(1)
 			}
-			if *benchComparePath != "" {
-				fmt.Fprintln(os.Stderr, "rpbench: -benchcompare is not supported for fleet runs (the fleet bench payload has its own schema)")
-				os.Exit(2)
+		case sc.Fleet > 0:
+			drifted, err = runFleetScenario(sc, c.seed, c.workers, exports)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rpbench:", err)
+				os.Exit(1)
 			}
-			if *benchPath != "" {
-				if err := benchFleet(sc, *seed, *benchDur, *benchSeconds, *benchPath); err != nil {
+			if c.bench != "" {
+				if err := benchFleet(sc, c.seed, c.benchDur, c.benchSeconds, c.bench); err != nil {
 					fmt.Fprintln(os.Stderr, "rpbench:", err)
 					os.Exit(1)
 				}
 			}
-		} else {
-			drifted, err = runScenario(sc, *seed, *workers, exports)
+		default:
+			drifted, err = runScenario(sc, c.seed, c.workers, exports)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "rpbench:", err)
 				os.Exit(1)
 			}
-			if *benchPath != "" {
-				slow, err := benchScenario(sc, *seed, *benchDur, *benchSeconds, *benchPath, *benchComparePath, *benchTolerance)
+			if c.bench != "" {
+				slow, err := benchScenario(sc, c.seed, c.benchDur, c.benchSeconds, c.bench, c.benchCompare, c.benchTolerance)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "rpbench:", err)
 					os.Exit(1)
@@ -186,9 +191,6 @@ func main() {
 				if slow {
 					os.Exit(1)
 				}
-			} else if *benchComparePath != "" {
-				fmt.Fprintln(os.Stderr, "rpbench: -benchcompare requires -benchout")
-				os.Exit(2)
 			}
 		}
 		if drifted {
@@ -196,22 +198,14 @@ func main() {
 		}
 		return
 	}
-	if *fleetSpec != "" {
-		fmt.Fprintln(os.Stderr, "rpbench: -fleet requires -scenario (use -list for scenario IDs)")
-		os.Exit(2)
-	}
-	if *tracePath != "" || *metricsPath != "" || *reportDir != "" || *comparePath != "" {
-		fmt.Fprintln(os.Stderr, "rpbench: -trace/-metrics/-report/-compare require -scenario (use -list for scenario IDs)")
-		os.Exit(2)
-	}
 
-	o := experiments.Options{Runs: *runs, Seed: *seed, Workers: *workers, FaultSpec: *faults, BondPolicy: *bondPolicy}
+	o := experiments.Options{Runs: c.runs, Seed: c.seed, Workers: c.workers, FaultSpec: c.faults, BondPolicy: c.bondPolicy}
 	core.ResetStats()
 	benchStart := time.Now()
 	failed := 0
 	ran := 0
 	for _, e := range registry {
-		if *fig != "all" && *fig != e.id {
+		if c.fig != "all" && c.fig != e.id {
 			continue
 		}
 		ran++
@@ -226,15 +220,15 @@ func main() {
 		}
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "rpbench: unknown experiment %q (use -list)\n", *fig)
+		fmt.Fprintf(os.Stderr, "rpbench: unknown experiment %q (use -list)\n", c.fig)
 		os.Exit(2)
 	}
-	if *benchPath != "" {
-		if err := writeBench(*benchPath, time.Since(benchStart)); err != nil {
+	if c.bench != "" {
+		if err := writeBench(c.bench, time.Since(benchStart)); err != nil {
 			fmt.Fprintln(os.Stderr, "rpbench:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "rpbench: wrote benchmark stats %s\n", *benchPath)
+		fmt.Fprintf(os.Stderr, "rpbench: wrote benchmark stats %s\n", c.bench)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "rpbench: %d experiment(s) failed shape checks\n", failed)

@@ -26,6 +26,15 @@ type CampaignOptions struct {
 	// its own, but it must not block for long: it runs on the campaign's
 	// critical path.
 	Progress func(CampaignProgress)
+	// RunTimeout, when positive, arms a per-run wall-clock watchdog: a
+	// run that has not returned within the deadline is abandoned and
+	// recorded as that run's error instead of stalling the whole
+	// campaign. This is the same conversion the distributed coordinator
+	// applies to a wedged worker — a hang becomes a bounded, reported
+	// failure. The abandoned run's goroutine is left to finish (or hang)
+	// on its own; its result, if it ever materializes, is discarded.
+	// Zero disables the watchdog and runs jobs inline.
+	RunTimeout time.Duration
 }
 
 // CampaignProgress is one campaign status sample, emitted as each run
@@ -145,14 +154,8 @@ func runJobs(runs int, opts CampaignOptions, job func(i int) *Result) ([]*Result
 		opts.Progress(p)
 	}
 	runOne := func(i int) {
-		defer func() {
-			if r := recover(); r != nil {
-				results[i] = nil
-				errs[i] = fmt.Errorf("campaign run %d panicked: %v", i, r)
-			}
-			finish(i)
-		}()
-		results[i] = job(i)
+		results[i], errs[i] = runGuarded(fmt.Sprintf("campaign run %d", i), opts.RunTimeout, func() *Result { return job(i) })
+		finish(i)
 	}
 
 	if workers == 1 {
@@ -178,4 +181,61 @@ func runJobs(runs int, opts CampaignOptions, job func(i int) *Result) ([]*Result
 	close(idx)
 	wg.Wait()
 	return results, errs
+}
+
+// runGuarded executes one job with panic recovery and, when timeout is
+// positive, the wall-clock watchdog: a job that neither returns nor panics
+// within the deadline is abandoned and converted into an error. The
+// abandoned goroutine keeps running detached — Run has no cancellation
+// point, so the watchdog trades a leaked goroutine for a campaign that
+// cannot be wedged by one hung run (the leak is bounded by the number of
+// timed-out runs). name labels the error messages ("campaign run 3").
+func runGuarded(name string, timeout time.Duration, job func() *Result) (*Result, error) {
+	if timeout <= 0 {
+		var res *Result
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("%s panicked: %v", name, r)
+				}
+			}()
+			res = job()
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1) // buffered: a late finisher must not block
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{nil, fmt.Errorf("%s panicked: %v", name, r)}
+			}
+		}()
+		done <- outcome{job(), nil}
+	}()
+	watchdog := time.NewTimer(timeout)
+	defer watchdog.Stop()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-watchdog.C:
+		return nil, fmt.Errorf("%s exceeded the %v watchdog deadline and was abandoned", name, timeout)
+	}
+}
+
+// RunWithTimeout executes one run under the per-run watchdog: panics are
+// recovered into the error and a run that outlives the deadline is
+// abandoned with a timeout error (see CampaignOptions.RunTimeout). A zero
+// timeout disables the watchdog but keeps the panic recovery — the shape
+// distributed workers need to turn any single-run failure into a reported
+// shard error rather than a dead process.
+func RunWithTimeout(cfg Config, timeout time.Duration) (*Result, error) {
+	return runGuarded("run", timeout, func() *Result { return Run(cfg) })
 }

@@ -79,6 +79,82 @@ func TestCampaignPanicRecovered(t *testing.T) {
 	}
 }
 
+// TestCampaignErrorAggregation: several runs failing at once under a
+// parallel worker pool must land each error at its own run index — never at
+// a neighbour's — and the surviving results must be the same set the serial
+// pool produces, in the same order.
+func TestCampaignErrorAggregation(t *testing.T) {
+	const runs = 12
+	bad := map[int]bool{1: true, 5: true, 10: true}
+	job := func(i int) *Result {
+		if bad[i] {
+			panic(fmt.Sprintf("boom-%d", i))
+		}
+		return &Result{Duration: time.Duration(i) * time.Second}
+	}
+	for _, workers := range []int{1, 4} {
+		results, errs := runJobs(runs, CampaignOptions{Workers: workers}, job)
+		for i := 0; i < runs; i++ {
+			if bad[i] {
+				if results[i] != nil {
+					t.Errorf("workers=%d: failed run %d left a result", workers, i)
+				}
+				if errs[i] == nil ||
+					!strings.Contains(errs[i].Error(), fmt.Sprintf("run %d", i)) ||
+					!strings.Contains(errs[i].Error(), fmt.Sprintf("boom-%d", i)) {
+					t.Errorf("workers=%d: run %d error misrouted: %v", workers, i, errs[i])
+				}
+				continue
+			}
+			if errs[i] != nil {
+				t.Errorf("workers=%d: healthy run %d errored: %v", workers, i, errs[i])
+			}
+			if results[i] == nil || results[i].Duration != time.Duration(i)*time.Second {
+				t.Errorf("workers=%d: run %d result misrouted: %+v", workers, i, results[i])
+			}
+		}
+	}
+}
+
+// TestCampaignWatchdogAbandonsHungRun: a run that neither returns nor
+// panics is abandoned at the RunTimeout deadline with an error naming the
+// run and the watchdog, while every other run completes normally.
+func TestCampaignWatchdogAbandonsHungRun(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release) // unblock the abandoned goroutine on the way out
+	results, errs := runJobs(5, CampaignOptions{Workers: 3, RunTimeout: 30 * time.Millisecond}, func(i int) *Result {
+		if i == 2 {
+			<-release
+		}
+		return &Result{Duration: time.Duration(i) * time.Second}
+	})
+	if errs[2] == nil || !strings.Contains(errs[2].Error(), "run 2") ||
+		!strings.Contains(errs[2].Error(), "watchdog deadline") {
+		t.Fatalf("hung run not abandoned: %v", errs[2])
+	}
+	if results[2] != nil {
+		t.Error("abandoned run left a result")
+	}
+	for _, i := range []int{0, 1, 3, 4} {
+		if errs[i] != nil || results[i] == nil || results[i].Duration != time.Duration(i)*time.Second {
+			t.Errorf("run %d lost alongside the hung run: res=%v err=%v", i, results[i], errs[i])
+		}
+	}
+}
+
+// TestRunWithTimeoutKeepsPanicRecovery: a zero timeout disables only the
+// watchdog — a panicking run still comes back as an error, not a crash.
+func TestRunWithTimeoutKeepsPanicRecovery(t *testing.T) {
+	_, err := RunWithTimeout(Config{Env: cell.Urban, CC: CCSCReAM, Seed: 1,
+		Duration: time.Second, ScreamFeedbackInterval: -time.Millisecond}, 0)
+	if err == nil {
+		t.Fatal("panicking run returned no error")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic detail lost: %v", err)
+	}
+}
+
 // TestRunCampaignRepanics: the compatibility wrapper keeps the historical
 // contract that a failing run fails the campaign.
 func TestRunCampaignRepanics(t *testing.T) {

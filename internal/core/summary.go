@@ -209,6 +209,110 @@ func (s *Summary) AddResult(r *Result) {
 	recordAggregation(s)
 }
 
+// Merge folds another summary into s — the distributed-campaign
+// counterpart of AddResult. Counters and durations sum, sketches merge,
+// watermarks take the maximum, and the derived ratios (PER, StallsPerMin)
+// are recomputed from the merged totals. Called in run-index order over
+// single-run summaries it reproduces, integer-for-integer and — because
+// the float folds group per run on both sides — byte-for-byte, the
+// summary a serial merge of the same shards would build. s.Config keeps
+// the receiver's (first non-empty) config.
+func (s *Summary) Merge(o *Summary) {
+	if o == nil || o.Runs == 0 {
+		return
+	}
+	if s.Runs == 0 {
+		s.Config = o.Config
+	}
+	s.Runs += o.Runs
+	s.Duration += o.Duration
+
+	s.OWDms.Merge(&o.OWDms)
+	for b := range o.OWDByAlt {
+		s.OWDByAlt[b].Merge(&o.OWDByAlt[b])
+	}
+	s.Goodput.Merge(&o.Goodput)
+	s.FPS.Merge(&o.FPS)
+	s.PlaybackMs.Merge(&o.PlaybackMs)
+	s.SSIM.Merge(&o.SSIM)
+	s.RTTms.Merge(&o.RTTms)
+	for b := range o.RTTByAlt {
+		s.RTTByAlt[b].Merge(&o.RTTByAlt[b])
+	}
+	s.JitterMs.Merge(&o.JitterMs)
+	s.RTCPRTTms.Merge(&o.RTCPRTTms)
+	s.OutageMs.Merge(&o.OutageMs)
+	s.RecoveryMs.Merge(&o.RecoveryMs)
+
+	s.PacketsSent += o.PacketsSent
+	s.PacketsDelivered += o.PacketsDelivered
+	s.PacketsLost += o.PacketsLost
+	s.Overflows += o.Overflows
+	s.CtrlPacketsSent += o.CtrlPacketsSent
+	s.CtrlPacketsDelivered += o.CtrlPacketsDelivered
+	s.CtrlPacketsLost += o.CtrlPacketsLost
+	if s.PacketsSent > 0 {
+		s.PER = float64(s.PacketsLost) / float64(s.PacketsSent)
+	}
+
+	s.Handovers += o.Handovers
+	s.RLFs += o.RLFs
+	s.HandoverFailures += o.HandoverFailures
+
+	s.Stalls += o.Stalls
+	s.FramesPlayed += o.FramesPlayed
+	s.FramesSkipped += o.FramesSkipped
+	if s.Duration > 0 {
+		s.StallsPerMin = float64(s.Stalls) / s.Duration.Minutes()
+	}
+
+	s.MultipathDuplicates += o.MultipathDuplicates
+	s.AQMDrops += o.AQMDrops
+
+	s.BondSwitches += o.BondSwitches
+	s.BondPathDownEvents += o.BondPathDownEvents
+	s.BondPathUpEvents += o.BondPathUpEvents
+	s.BondReorderLate += o.BondReorderLate
+	s.BondReorderForced += o.BondReorderForced
+	s.BondPathSent += o.BondPathSent
+	s.BondPathDelivered += o.BondPathDelivered
+	s.BondPathLost += o.BondPathLost
+	s.BondPathSuppressed += o.BondPathSuppressed
+	s.BondPathDownMs += o.BondPathDownMs
+
+	s.ScreamLosses += o.ScreamLosses
+	s.ScreamLossesInBand += o.ScreamLossesInBand
+	s.ScreamLossesWindow += o.ScreamLossesWindow
+	s.ScreamDiscards += o.ScreamDiscards
+
+	s.Outages += o.Outages
+	s.OutageTotal += o.OutageTotal
+	s.StaleDrops += o.StaleDrops
+	s.KeyframeRequests += o.KeyframeRequests
+	if o.PostOutageQueueMs > s.PostOutageQueueMs {
+		s.PostOutageQueueMs = o.PostOutageQueueMs
+	}
+	s.FaultEpisodes = append(s.FaultEpisodes, o.FaultEpisodes...)
+
+	s.NacksSent += o.NacksSent
+	s.PacketsRepaired += o.PacketsRepaired
+	s.FramesRepaired += o.FramesRepaired
+	s.RepairLate += o.RepairLate
+	s.RepairAbandoned += o.RepairAbandoned
+	s.RepairDenied += o.RepairDenied
+	s.RepairCacheMisses += o.RepairCacheMisses
+	s.RtxBytes += o.RtxBytes
+	s.RepairBudgetAccrued += o.RepairBudgetAccrued
+	s.RtxSent += o.RtxSent
+	s.RtxDelivered += o.RtxDelivered
+	s.RtxLost += o.RtxLost
+	s.RtxStaleDrops += o.RtxStaleDrops
+	s.RtxOverflows += o.RtxOverflows
+
+	s.samplesFolded += o.samplesFolded
+	recordAggregation(s)
+}
+
 // GoodputMean returns the mean per-second goodput in Mbps.
 func (s *Summary) GoodputMean() float64 { return s.Goodput.Mean() }
 
@@ -297,17 +401,11 @@ func RunCampaignSummary(cfg Config, runs int, opts CampaignOptions) (*Summary, [
 		}
 	}
 	runOne := func(i int) {
-		var res *Result
-		defer func() {
-			if rec := recover(); rec != nil {
-				errs[i] = fmt.Errorf("campaign run %d panicked: %v", i, rec)
-				res = nil
-			}
-			done(i, res)
-		}()
 		c := cfg
 		c.Seed = opts.runSeed(cfg.Seed, i)
-		res = Run(c)
+		res, err := runGuarded(fmt.Sprintf("campaign run %d", i), opts.RunTimeout, func() *Result { return Run(c) })
+		errs[i] = err
+		done(i, res)
 	}
 
 	workers := opts.Workers

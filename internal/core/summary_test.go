@@ -120,6 +120,58 @@ func interpGap(d *metrics.Dist, q float64) float64 {
 	return math.Abs(s[hi] - s[lo])
 }
 
+// TestSummaryJSONRoundTrip locks the wire form the distributed campaign
+// shards travel in: marshal → unmarshal → marshal must be byte-identical
+// (canonical output), and a summary merged from round-tripped single-run
+// summaries must serialize identically to one merged from the originals —
+// the exact fold the dist coordinator performs.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	cfg := Config{Env: cell.Urban, CC: CCGCC, Seed: 11, Duration: 3 * time.Second}
+	results, errs := RunCampaignWithOptions(cfg, 3, CampaignOptions{})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	direct := &Summary{}
+	wired := &Summary{}
+	for _, r := range results {
+		one := Summarize([]*Result{r})
+		direct.Merge(one)
+
+		raw, err := one.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var rt Summary
+		if err := rt.UnmarshalJSON(raw); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		again, err := rt.MarshalJSON()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if string(raw) != string(again) {
+			t.Fatalf("round trip not canonical:\n first %s\nsecond %s", raw, again)
+		}
+		wired.Merge(&rt)
+	}
+	a, err := direct.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wired.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("merge of round-tripped summaries diverged:\n direct %s\n  wired %s", a, b)
+	}
+	if wired.Runs != 3 || wired.PacketsSent == 0 {
+		t.Fatalf("round-tripped merge lost data: %+v", wired)
+	}
+}
+
 // TestRunCampaignSummaryDeterministic: the streaming fold must equal the
 // batch fold, at any worker count, field for field — this is the byte-
 // stability contract the report bundles build on.

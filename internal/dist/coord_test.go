@@ -1,0 +1,569 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rpivideo/internal/obs"
+)
+
+// testPayload is the deterministic shard a well-behaved test runner
+// produces for one run.
+func testPayload(spec json.RawMessage, run int) []byte {
+	return []byte(fmt.Sprintf(`{"spec":%s,"run":%d,"v":%d}`, spec, run, run*run+7))
+}
+
+func okRunner() Runner {
+	return RunnerFunc(func(spec json.RawMessage, run int) ([]byte, error) {
+		return testPayload(spec, run), nil
+	})
+}
+
+// requireSerialEquivalence asserts the outcome matches a serial execution
+// of the runner byte for byte.
+func requireSerialEquivalence(t *testing.T, spec json.RawMessage, runs int, out *Outcome) {
+	t.Helper()
+	if len(out.Shards) != runs || len(out.RunErrs) != runs {
+		t.Fatalf("outcome sized %d/%d, want %d", len(out.Shards), len(out.RunErrs), runs)
+	}
+	for run := 0; run < runs; run++ {
+		if out.RunErrs[run] != nil {
+			t.Fatalf("run %d errored: %v", run, out.RunErrs[run])
+		}
+		if want := testPayload(spec, run); !bytes.Equal(out.Shards[run], want) {
+			t.Fatalf("run %d: got %s, want %s", run, out.Shards[run], want)
+		}
+	}
+}
+
+func TestMergeEquivalenceAcrossTopologies(t *testing.T) {
+	spec := json.RawMessage(`"eqv"`)
+	const runs = 10
+	cases := []struct{ workers, chunk int }{
+		{1, runs}, // degenerate: one worker, one chunk
+		{3, 2},
+		{5, 1},
+		{4, 3}, // ragged tail chunk
+		{2, 0}, // default chunk sizing
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("w%d_c%d", tc.workers, tc.chunk), func(t *testing.T) {
+			peers := make([]Peer, tc.workers)
+			for i := range peers {
+				peers[i] = StartPipe(fmt.Sprintf("w%d", i), okRunner())
+			}
+			reg := obs.NewRegistry()
+			out, err := Run(spec, Config{Runs: runs, ChunkSize: tc.chunk, Metrics: reg}, peers)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			requireSerialEquivalence(t, spec, runs, out)
+			if n := reg.Counter("dist_leases_reissued"); n != 0 {
+				t.Fatalf("clean campaign reissued %d leases, want 0", n)
+			}
+			if n := reg.Counter("dist_workers_lost"); n != 0 {
+				t.Fatalf("clean campaign lost %d workers, want 0", n)
+			}
+			if got := reg.Counter("dist_shards_received"); got != runs {
+				t.Fatalf("received %d shards, want %d", got, runs)
+			}
+		})
+	}
+}
+
+func TestPerRunErrorsLandAtTheirIndices(t *testing.T) {
+	spec := json.RawMessage(`"errs"`)
+	bad := map[int]bool{2: true, 5: true}
+	runner := RunnerFunc(func(spec json.RawMessage, run int) ([]byte, error) {
+		if bad[run] {
+			return nil, fmt.Errorf("run %d exploded", run)
+		}
+		if run == 6 {
+			panic(fmt.Sprintf("run %d panicked hard", run))
+		}
+		return testPayload(spec, run), nil
+	})
+	peers := []Peer{StartPipe("w0", runner), StartPipe("w1", runner)}
+	reg := obs.NewRegistry()
+	out, err := Run(spec, Config{Runs: 8, ChunkSize: 2, Metrics: reg}, peers)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for run := 0; run < 8; run++ {
+		switch {
+		case bad[run]:
+			if out.RunErrs[run] == nil || !strings.Contains(out.RunErrs[run].Error(), "exploded") {
+				t.Fatalf("run %d: want exploded error, got %v", run, out.RunErrs[run])
+			}
+		case run == 6:
+			if out.RunErrs[run] == nil || !strings.Contains(out.RunErrs[run].Error(), "panicked") {
+				t.Fatalf("run %d: want panic error, got %v", run, out.RunErrs[run])
+			}
+		default:
+			if out.RunErrs[run] != nil || !bytes.Equal(out.Shards[run], testPayload(spec, run)) {
+				t.Fatalf("run %d: unexpected %v / %s", run, out.RunErrs[run], out.Shards[run])
+			}
+		}
+	}
+	if n := reg.Counter("dist_run_errors"); n != 3 {
+		t.Fatalf("dist_run_errors = %d, want 3", n)
+	}
+}
+
+// crashRunner kills its own peer on its first run — the in-process
+// analogue of a worker crashing mid-chunk — and signals the crash so the
+// test can hold other workers back until it has happened.
+type crashRunner struct {
+	mu      sync.Mutex
+	kill    func() error
+	crashed chan struct{}
+}
+
+func (c *crashRunner) Run(spec json.RawMessage, run int) ([]byte, error) {
+	c.mu.Lock()
+	kill := c.kill
+	var boom bool
+	select {
+	case <-c.crashed:
+	default:
+		boom = true
+		close(c.crashed)
+	}
+	c.mu.Unlock()
+	if boom {
+		kill()
+		return nil, errors.New("crashing")
+	}
+	return testPayload(spec, run), nil
+}
+
+func TestWorkerCrashReissuesChunk(t *testing.T) {
+	spec := json.RawMessage(`"crash"`)
+	const runs = 8
+	cr := &crashRunner{crashed: make(chan struct{})}
+	cr.mu.Lock()
+	crashPeer := StartPipe("crasher", cr)
+	cr.kill = crashPeer.Kill
+	cr.mu.Unlock()
+	// The steady worker refuses to produce anything until the crash has
+	// happened, so the crasher is guaranteed a grant (and the campaign is
+	// guaranteed to need a reissue) whatever order the workers come up in.
+	steady := RunnerFunc(func(spec json.RawMessage, run int) ([]byte, error) {
+		<-cr.crashed
+		return testPayload(spec, run), nil
+	})
+	peers := []Peer{StartPipe("steady", steady), crashPeer}
+
+	reg := obs.NewRegistry()
+	out, err := Run(spec, Config{
+		Runs: runs, ChunkSize: 2,
+		Lease: 2 * time.Second, Backoff: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+		Metrics: reg,
+	}, peers)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	requireSerialEquivalence(t, spec, runs, out)
+	if n := reg.Counter("dist_workers_lost"); n != 1 {
+		t.Fatalf("dist_workers_lost = %d, want 1", n)
+	}
+	if n := reg.Counter("dist_leases_reissued"); n < 1 {
+		t.Fatalf("dist_leases_reissued = %d, want >= 1", n)
+	}
+	if n := reg.Counter("dist_chunks_retried"); n < 1 {
+		t.Fatalf("dist_chunks_retried = %d, want >= 1", n)
+	}
+}
+
+// hangRunner blocks forever on the first execution of targetRun (until the
+// test releases it); retries sail through.
+type hangRunner struct {
+	mu        sync.Mutex
+	targetRun int
+	hung      bool
+	release   chan struct{}
+}
+
+func (h *hangRunner) Run(spec json.RawMessage, run int) ([]byte, error) {
+	h.mu.Lock()
+	hang := run == h.targetRun && !h.hung
+	if hang {
+		h.hung = true
+	}
+	h.mu.Unlock()
+	if hang {
+		<-h.release
+		return nil, errors.New("was hung")
+	}
+	return testPayload(spec, run), nil
+}
+
+func TestHungWorkerLosesLeaseAndIsKilled(t *testing.T) {
+	spec := json.RawMessage(`"hang"`)
+	const runs = 6
+	hr := &hangRunner{targetRun: 1, release: make(chan struct{})}
+	defer close(hr.release)
+	peers := []Peer{StartPipe("w0", hr), StartPipe("w1", hr)}
+
+	var mu sync.Mutex
+	var kinds []EventKind
+	reg := obs.NewRegistry()
+	out, err := Run(spec, Config{
+		Runs: runs, ChunkSize: 2,
+		Lease: 80 * time.Millisecond, Backoff: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+		Metrics: reg,
+		Events: func(e Event) {
+			mu.Lock()
+			kinds = append(kinds, e.Kind)
+			mu.Unlock()
+		},
+	}, peers)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	requireSerialEquivalence(t, spec, runs, out)
+	if n := reg.Counter("dist_lease_expiries"); n != 1 {
+		t.Fatalf("dist_lease_expiries = %d, want 1", n)
+	}
+	if n := reg.Counter("dist_stragglers_killed"); n != 1 {
+		t.Fatalf("dist_stragglers_killed = %d, want 1", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	seen := map[EventKind]bool{}
+	for _, k := range kinds {
+		seen[k] = true
+	}
+	for _, want := range []EventKind{EvLeaseExpired, EvStragglerKilled, EvGrant, EvChunkDone} {
+		if !seen[want] {
+			t.Fatalf("event %v never fired (saw %v)", want, kinds)
+		}
+	}
+}
+
+// fakePeer is a hand-scripted worker for coordinator unit tests: the test
+// plays the worker side directly over channels.
+type fakePeer struct {
+	name string
+	in   chan *Msg // coordinator → worker script
+	out  chan *Msg // worker script → coordinator
+	dead chan struct{}
+	once sync.Once
+}
+
+func newFakePeer(name string) *fakePeer {
+	return &fakePeer{name: name, in: make(chan *Msg, 64), out: make(chan *Msg, 64), dead: make(chan struct{})}
+}
+
+func (p *fakePeer) Send(m *Msg) error {
+	select {
+	case p.in <- m:
+		return nil
+	case <-p.dead:
+		return io.ErrClosedPipe
+	}
+}
+
+func (p *fakePeer) Recv() (*Msg, error) {
+	select {
+	case m := <-p.out:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-p.out:
+		return m, nil
+	case <-p.dead:
+		return nil, io.EOF
+	}
+}
+
+func (p *fakePeer) Kill() error  { p.once.Do(func() { close(p.dead) }); return nil }
+func (p *fakePeer) Close() error { p.once.Do(func() { close(p.dead) }); return nil }
+func (p *fakePeer) String() string {
+	return "fake:" + p.name
+}
+
+// silentWorker acks the handshake then swallows every grant without
+// progress — the canonical wedged worker.
+func silentWorker(p *fakePeer) {
+	go func() {
+		for {
+			select {
+			case m := <-p.in:
+				switch m.T {
+				case MsgHello:
+					p.out <- &Msg{T: MsgReady, Proto: ProtoVersion}
+				case MsgShutdown:
+					p.Close()
+					return
+				}
+			case <-p.dead:
+				return
+			}
+		}
+	}()
+}
+
+func TestRetryBudgetExhaustionFailsChunk(t *testing.T) {
+	// Six wedged workers, a 1-run campaign, RetryCap 2: grants go out to
+	// three workers (attempts 1..3), each lease expires, and the fourth
+	// forfeit exhausts the budget.
+	var peers []Peer
+	for i := 0; i < 6; i++ {
+		p := newFakePeer(fmt.Sprintf("silent-%d", i))
+		silentWorker(p)
+		peers = append(peers, p)
+	}
+	reg := obs.NewRegistry()
+	out, err := Run(json.RawMessage(`"doom"`), Config{
+		Runs: 1, ChunkSize: 1,
+		Lease: 20 * time.Millisecond, Backoff: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+		RetryCap: 2, Metrics: reg,
+	}, peers)
+	if err == nil {
+		t.Fatal("expected a campaign error")
+	}
+	if len(out.Failed) != 1 {
+		t.Fatalf("Failed = %v, want exactly one chunk", out.Failed)
+	}
+	ce := out.Failed[0]
+	if ce.Attempts != 3 { // 1 initial + RetryCap re-issues
+		t.Fatalf("attempts = %d, want 3", ce.Attempts)
+	}
+	if !strings.Contains(ce.Reason, "retry budget exhausted") {
+		t.Fatalf("reason = %q", ce.Reason)
+	}
+	var chunkErr ChunkError
+	if !errors.As(out.RunErrs[0], &chunkErr) {
+		t.Fatalf("RunErrs[0] = %v, want a ChunkError", out.RunErrs[0])
+	}
+	if n := reg.Counter("dist_chunks_failed"); n != 1 {
+		t.Fatalf("dist_chunks_failed = %d, want 1", n)
+	}
+	if n := reg.Counter("dist_stragglers_killed"); n != 3 {
+		t.Fatalf("dist_stragglers_killed = %d, want 3", n)
+	}
+}
+
+func TestAllWorkersDeadFailsRemainingChunks(t *testing.T) {
+	// Every worker dies on its first grant; once the last one is gone the
+	// remaining chunks fail immediately instead of spinning on backoff.
+	var peers []Peer
+	for i := 0; i < 2; i++ {
+		p := newFakePeer(fmt.Sprintf("fragile-%d", i))
+		go func() {
+			for {
+				select {
+				case m := <-p.in:
+					switch m.T {
+					case MsgHello:
+						p.out <- &Msg{T: MsgReady, Proto: ProtoVersion}
+					case MsgGrant:
+						p.Kill() // crash on contact with work
+						return
+					}
+				case <-p.dead:
+					return
+				}
+			}
+		}()
+		peers = append(peers, p)
+	}
+	reg := obs.NewRegistry()
+	out, err := Run(json.RawMessage(`"mortal"`), Config{
+		Runs: 4, ChunkSize: 1,
+		Lease: time.Second, Backoff: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+		Metrics: reg,
+	}, peers)
+	if err == nil {
+		t.Fatal("expected a campaign error")
+	}
+	if len(out.Failed) != 4 {
+		t.Fatalf("Failed = %d chunks, want all 4", len(out.Failed))
+	}
+	for run := 0; run < 4; run++ {
+		if out.RunErrs[run] == nil {
+			t.Fatalf("run %d has no error", run)
+		}
+	}
+	if n := reg.Counter("dist_workers_lost"); n != 2 {
+		t.Fatalf("dist_workers_lost = %d, want 2", n)
+	}
+}
+
+func TestDegradesToSingleSurvivor(t *testing.T) {
+	// Two of three workers die on their first grant; the campaign still
+	// completes, carried by the survivor.
+	spec := json.RawMessage(`"survivor"`)
+	const runs = 9
+	peers := []Peer{StartPipe("steady", okRunner())}
+	for i := 0; i < 2; i++ {
+		p := newFakePeer(fmt.Sprintf("fragile-%d", i))
+		go func() {
+			for {
+				select {
+				case m := <-p.in:
+					switch m.T {
+					case MsgHello:
+						p.out <- &Msg{T: MsgReady, Proto: ProtoVersion}
+					case MsgGrant:
+						p.Kill()
+						return
+					case MsgShutdown:
+						p.Close()
+						return
+					}
+				case <-p.dead:
+					return
+				}
+			}
+		}()
+		peers = append(peers, p)
+	}
+	reg := obs.NewRegistry()
+	out, err := Run(spec, Config{
+		Runs: runs, ChunkSize: 2,
+		Lease: 2 * time.Second, Backoff: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+		Metrics: reg,
+	}, peers)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	requireSerialEquivalence(t, spec, runs, out)
+	if n := reg.Counter("dist_workers_lost"); n != 2 {
+		t.Fatalf("dist_workers_lost = %d, want 2", n)
+	}
+	if n := reg.Counter("dist_leases_reissued"); n < 2 {
+		t.Fatalf("dist_leases_reissued = %d, want >= 2", n)
+	}
+}
+
+// reconcileHarness builds a coordinator mid-flight for white-box tests of
+// the duplicate reconciliation rules.
+func reconcileHarness(workers int) (*coord, *obs.Registry) {
+	reg := obs.NewRegistry()
+	c := &coord{
+		cfg: Config{Runs: 2, Metrics: reg}.withDefaults(),
+		now: time.Now,
+	}
+	c.chunks = []*chunk{{id: 0, start: 0, count: 2, worker: -1}}
+	for i := 0; i < workers; i++ {
+		c.workers = append(c.workers, &wstate{peer: newFakePeer(fmt.Sprintf("w%d", i)), phase: wBusy, chunk: 0})
+	}
+	return c, reg
+}
+
+func deliver(c *coord, worker int, payloads map[int]string) {
+	for run, body := range payloads {
+		c.shard(worker, &Msg{T: MsgShard, Chunk: 0, Run: run, Payload: json.RawMessage(body)})
+	}
+}
+
+func TestDuplicateChunkReconcilesIdempotently(t *testing.T) {
+	c, reg := reconcileHarness(2)
+	c.chunks[0].phase = chunkLeased
+	c.chunks[0].worker = 0
+
+	set := map[int]string{0: `{"v":1}`, 1: `{"v":2}`}
+	deliver(c, 0, set)
+	if err := c.chunkDone(0, 0); err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	if c.chunks[0].phase != chunkDone || c.chunks[0].worker != 0 {
+		t.Fatalf("chunk not committed to worker 0: %+v", c.chunks[0])
+	}
+
+	deliver(c, 1, set) // byte-identical duplicate
+	if err := c.chunkDone(1, 0); err != nil {
+		t.Fatalf("duplicate must reconcile cleanly: %v", err)
+	}
+	if c.chunks[0].worker != 0 {
+		t.Fatal("duplicate must not displace the committed set")
+	}
+	if n := reg.Counter("dist_duplicate_chunks"); n != 1 {
+		t.Fatalf("dist_duplicate_chunks = %d, want 1", n)
+	}
+}
+
+func TestDivergentDuplicateIsAHardError(t *testing.T) {
+	c, _ := reconcileHarness(2)
+	c.chunks[0].phase = chunkLeased
+	c.chunks[0].worker = 0
+
+	deliver(c, 0, map[int]string{0: `{"v":1}`, 1: `{"v":2}`})
+	if err := c.chunkDone(0, 0); err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	deliver(c, 1, map[int]string{0: `{"v":1}`, 1: `{"v":666}`})
+	err := c.chunkDone(1, 0)
+	if !errors.Is(err, ErrDivergence) {
+		t.Fatalf("divergent duplicate returned %v, want ErrDivergence", err)
+	}
+}
+
+func TestLateStragglerRescuesFailedChunk(t *testing.T) {
+	c, reg := reconcileHarness(1)
+	c.fail(c.chunks[0], "retry budget exhausted")
+	if n := reg.Counter("dist_chunks_failed"); n != 1 {
+		t.Fatalf("dist_chunks_failed = %d, want 1", n)
+	}
+	deliver(c, 0, map[int]string{0: `{"v":1}`, 1: `{"v":2}`})
+	if err := c.chunkDone(0, 0); err != nil {
+		t.Fatalf("rescue commit: %v", err)
+	}
+	if c.chunks[0].phase != chunkDone {
+		t.Fatalf("chunk phase = %v, want done", c.chunks[0].phase)
+	}
+	if n := reg.Counter("dist_chunks_failed"); n != 0 {
+		t.Fatalf("dist_chunks_failed = %d after rescue, want 0", n)
+	}
+	out := c.outcome()
+	if out.Err() != nil || len(out.Failed) != 0 {
+		t.Fatalf("rescued campaign still failing: %v", out.Err())
+	}
+}
+
+func TestPrematureChunkDoneIsAProtocolFault(t *testing.T) {
+	c, reg := reconcileHarness(2)
+	c.chunks[0].phase = chunkLeased
+	c.chunks[0].worker = 0
+	c.chunks[0].attempts = 1
+	deliver(c, 0, map[int]string{0: `{"v":1}`}) // one of two shards
+	if err := c.chunkDone(0, 0); err != nil {
+		t.Fatalf("premature chunk_done must not abort the campaign: %v", err)
+	}
+	if c.workers[0].phase != wDead {
+		t.Fatal("lying worker must be cut off")
+	}
+	if c.chunks[0].phase != chunkPending {
+		t.Fatalf("chunk must return to pending, got %v", c.chunks[0].phase)
+	}
+	if n := reg.Counter("dist_workers_lost"); n != 1 {
+		t.Fatalf("dist_workers_lost = %d, want 1", n)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Runs: 100}.withDefaults()
+	if c.Lease != 15*time.Second || c.Backoff != 100*time.Millisecond ||
+		c.BackoffMax != 2*time.Second || c.RetryCap != 4 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if got := c.chunkSize(4); got != 6 { // 100/(4*4)
+		t.Fatalf("chunkSize(4) = %d, want 6", got)
+	}
+	if got := (Config{Runs: 3}.withDefaults()).chunkSize(8); got != 1 {
+		t.Fatalf("small campaign chunkSize = %d, want 1", got)
+	}
+	if got := (Config{Runs: 5, ChunkSize: 99}.withDefaults()).chunkSize(2); got != 5 {
+		t.Fatalf("oversized chunk must clamp to runs, got %d", got)
+	}
+}

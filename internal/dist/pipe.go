@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// errKilled is the stream error a killed pipe worker's Recv reports.
+var errKilled = errors.New("dist: peer killed")
+
+// PipePeer runs a worker in-process over io.Pipe pairs: the same Serve
+// loop and wire protocol as a subprocess worker, without the process. It
+// exists for tests and for single-process embedding; fault injection works
+// by cutting the pipes, which is exactly what a crashed process looks like
+// from the coordinator's side.
+type PipePeer struct {
+	name string
+	enc  *encoder
+	dec  *decoder
+
+	toWorker   *io.PipeWriter // coordinator → worker
+	workerIn   *io.PipeReader
+	fromWorker *io.PipeReader // worker → coordinator
+	workerOut  *io.PipeWriter
+
+	closeOnce sync.Once
+	killOnce  sync.Once
+}
+
+// StartPipe starts an in-process worker serving the given Runner and
+// returns the coordinator's peer handle.
+func StartPipe(name string, runner Runner) *PipePeer {
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	p := &PipePeer{
+		name:       name,
+		enc:        newEncoder(inW),
+		dec:        newDecoder(outR),
+		toWorker:   inW,
+		workerIn:   inR,
+		fromWorker: outR,
+		workerOut:  outW,
+	}
+	go func() {
+		err := Serve(inR, outW, runner)
+		if err != nil {
+			outW.CloseWithError(err)
+		} else {
+			outW.Close()
+		}
+	}()
+	return p
+}
+
+// Send implements Peer.
+func (p *PipePeer) Send(m *Msg) error { return p.enc.send(m) }
+
+// Recv implements Peer.
+func (p *PipePeer) Recv() (*Msg, error) { return p.dec.next() }
+
+// Kill implements Peer: both pipes are severed, so the worker's next read
+// or write fails and the coordinator's Recv unblocks — the in-process
+// equivalent of SIGKILL.
+func (p *PipePeer) Kill() error {
+	p.killOnce.Do(func() {
+		p.workerIn.CloseWithError(errKilled)
+		p.fromWorker.CloseWithError(errKilled)
+		p.workerOut.CloseWithError(errKilled)
+	})
+	return nil
+}
+
+// Close implements Peer: worker input is closed so Serve returns on EOF.
+func (p *PipePeer) Close() error {
+	p.closeOnce.Do(func() {
+		p.toWorker.Close()
+		p.fromWorker.Close()
+	})
+	return nil
+}
+
+// String implements Peer.
+func (p *PipePeer) String() string { return fmt.Sprintf("pipe:%s", p.name) }

@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// procGrace bounds how long Close waits for a worker process to exit after
+// its stdin closes before escalating to SIGKILL. A healthy worker exits as
+// soon as its Serve loop sees EOF; a wedged one must not hang the
+// coordinator's shutdown.
+const procGrace = 5 * time.Second
+
+// ProcPeer is a worker subprocess speaking the protocol over its
+// stdin/stdout pipes. Stderr passes through to the coordinator's stderr so
+// worker diagnostics stay human-visible without touching the protocol
+// stream.
+type ProcPeer struct {
+	name  string
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	enc   *encoder
+	dec   *decoder
+
+	waitOnce  sync.Once
+	waitErr   error
+	closeOnce sync.Once
+	killOnce  sync.Once
+}
+
+// StartProc launches cmd as a worker: stdin/stdout are claimed for the
+// protocol (the command must not be pre-wired), stderr is inherited unless
+// the caller set it. The command is started before returning.
+func StartProc(name string, cmd *exec.Cmd) (*ProcPeer, error) {
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s stdin: %w", name, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s stdout: %w", name, err)
+	}
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: starting worker %s: %w", name, err)
+	}
+	return &ProcPeer{
+		name:  name,
+		cmd:   cmd,
+		stdin: stdin,
+		enc:   newEncoder(stdin),
+		dec:   newDecoder(stdout),
+	}, nil
+}
+
+// StartProcs launches n workers built by the factory (called with the
+// worker index). On any start failure the already-started workers are
+// killed and the error returned.
+func StartProcs(n int, build func(i int) *exec.Cmd) ([]Peer, error) {
+	peers := make([]Peer, n)
+	for i := 0; i < n; i++ {
+		p, err := StartProc(fmt.Sprintf("worker-%d", i), build(i))
+		if err != nil {
+			for _, q := range peers[:i] {
+				q.Kill()
+				q.Close()
+			}
+			return nil, err
+		}
+		peers[i] = p
+	}
+	return peers, nil
+}
+
+// Pid returns the worker process id (for out-of-band fault injection in
+// chaos tests).
+func (p *ProcPeer) Pid() int {
+	if p.cmd.Process == nil {
+		return -1
+	}
+	return p.cmd.Process.Pid
+}
+
+// Send implements Peer.
+func (p *ProcPeer) Send(m *Msg) error { return p.enc.send(m) }
+
+// Recv implements Peer. It unblocks with an error once the process exits
+// (its stdout pipe reaches EOF).
+func (p *ProcPeer) Recv() (*Msg, error) { return p.dec.next() }
+
+// Kill implements Peer: SIGKILL. The dying process closes its stdout,
+// which unblocks a pending Recv; the zombie is reaped by Close.
+func (p *ProcPeer) Kill() error {
+	var err error
+	p.killOnce.Do(func() {
+		if p.cmd.Process != nil {
+			err = p.cmd.Process.Kill()
+		}
+	})
+	return err
+}
+
+// Close implements Peer: stdin is closed so a healthy worker's Serve loop
+// returns on EOF and the process exits; after procGrace a survivor is
+// killed. The process is always reaped before Close returns.
+func (p *ProcPeer) Close() error {
+	p.closeOnce.Do(func() {
+		p.stdin.Close()
+		escalate := time.AfterFunc(procGrace, func() { p.Kill() })
+		p.waitOnce.Do(func() { p.waitErr = p.cmd.Wait() })
+		escalate.Stop()
+	})
+	return p.waitErr
+}
+
+// String implements Peer.
+func (p *ProcPeer) String() string {
+	pid := -1
+	if p.cmd.Process != nil {
+		pid = p.cmd.Process.Pid
+	}
+	return fmt.Sprintf("proc:%s(pid %d)", p.name, pid)
+}

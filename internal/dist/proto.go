@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ProtoVersion is the wire protocol version. The hello/ready handshake
+// pins it on both sides; a mismatch is a hard error, never a silent
+// reinterpretation of run indices.
+const ProtoVersion = 1
+
+// Message types. The protocol is deliberately tiny: JSON objects, one per
+// line, over any ordered byte stream — subprocess pipes here, TCP later.
+const (
+	// MsgHello (coordinator → worker) opens a session: Proto pins the
+	// protocol version and Spec carries the opaque campaign spec the
+	// worker's Runner interprets.
+	MsgHello = "hello"
+	// MsgReady (worker → coordinator) acknowledges the hello.
+	MsgReady = "ready"
+	// MsgGrant (coordinator → worker) leases one chunk: runs
+	// [Start, Start+Count) under chunk id Chunk.
+	MsgGrant = "grant"
+	// MsgBeat (worker → coordinator) is a heartbeat for Chunk with Done
+	// runs completed so far. Only beats that advance Done extend the
+	// lease — a wedged worker's idle heartbeats do not keep its chunk.
+	MsgBeat = "beat"
+	// MsgShard (worker → coordinator) carries one run's result: Payload
+	// on success, Err on a per-run failure. A shard is also progress and
+	// extends the lease.
+	MsgShard = "shard"
+	// MsgChunkDone (worker → coordinator) closes a chunk: every run in it
+	// has been shipped as a shard.
+	MsgChunkDone = "chunk_done"
+	// MsgShutdown (coordinator → worker) ends the session; the worker's
+	// Serve loop returns cleanly.
+	MsgShutdown = "shutdown"
+)
+
+// Msg is one protocol message. A single struct covers every type; unused
+// fields stay at their zero values and are omitted from the wire.
+type Msg struct {
+	T string `json:"t"`
+
+	// Hello/ready.
+	Proto int             `json:"proto,omitempty"`
+	Spec  json.RawMessage `json:"spec,omitempty"`
+
+	// Chunk identification (grant, beat, shard, chunk_done).
+	Chunk int `json:"chunk,omitempty"`
+	Start int `json:"start,omitempty"`
+	Count int `json:"count,omitempty"`
+
+	// Beat progress.
+	Done int `json:"done,omitempty"`
+
+	// Shard body.
+	Run     int             `json:"run,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Err     string          `json:"err,omitempty"`
+}
+
+// encoder writes newline-delimited JSON messages. Writes are mutex-guarded
+// so lifecycle paths (shutdown) may race the grant path safely.
+type encoder struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+func newEncoder(w io.Writer) *encoder {
+	return &encoder{w: bufio.NewWriter(w)}
+}
+
+// send marshals one message and flushes it.
+func (e *encoder) send(m *Msg) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("dist: encoding %s: %w", m.T, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.w.Write(data); err != nil {
+		return err
+	}
+	if err := e.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// decoder reads newline-delimited JSON messages. bufio.Reader.ReadBytes
+// has no token-size ceiling, so shard payloads (a traced run's JSONL can
+// run to megabytes) need no tuning.
+type decoder struct {
+	r *bufio.Reader
+}
+
+func newDecoder(r io.Reader) *decoder {
+	return &decoder{r: bufio.NewReader(r)}
+}
+
+// next reads one message. io.EOF reports a cleanly closed stream; a
+// truncated final line or malformed JSON is an error.
+func (d *decoder) next() (*Msg, error) {
+	line, err := d.r.ReadBytes('\n')
+	if err != nil {
+		if err == io.EOF && len(line) == 0 {
+			return nil, io.EOF
+		}
+		if err == io.EOF {
+			return nil, fmt.Errorf("dist: stream truncated mid-message")
+		}
+		return nil, err
+	}
+	m := new(Msg)
+	if err := json.Unmarshal(line, m); err != nil {
+		return nil, fmt.Errorf("dist: malformed message: %w", err)
+	}
+	if m.T == "" {
+		return nil, fmt.Errorf("dist: message without a type")
+	}
+	return m, nil
+}

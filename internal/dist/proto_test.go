@@ -1,0 +1,176 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestProtoRoundTrip(t *testing.T) {
+	msgs := []*Msg{
+		{T: MsgHello, Proto: ProtoVersion, Spec: json.RawMessage(`{"scenario":"urban-gcc"}`)},
+		{T: MsgReady, Proto: ProtoVersion},
+		{T: MsgGrant, Chunk: 3, Start: 12, Count: 4},
+		{T: MsgBeat, Chunk: 3, Done: 2},
+		{T: MsgShard, Chunk: 3, Run: 13, Payload: json.RawMessage(`{"v":1.5}`)},
+		{T: MsgShard, Chunk: 3, Run: 14, Err: "run 14 panicked: boom"},
+		{T: MsgChunkDone, Chunk: 3},
+		{T: MsgShutdown},
+	}
+	var buf bytes.Buffer
+	enc := newEncoder(&buf)
+	for _, m := range msgs {
+		if err := enc.send(m); err != nil {
+			t.Fatalf("send %s: %v", m.T, err)
+		}
+	}
+	dec := newDecoder(&buf)
+	for i, want := range msgs {
+		got, err := dec.next()
+		if err != nil {
+			t.Fatalf("next %d: %v", i, err)
+		}
+		w, _ := json.Marshal(want)
+		g, _ := json.Marshal(got)
+		if !bytes.Equal(w, g) {
+			t.Fatalf("message %d: got %s, want %s", i, g, w)
+		}
+	}
+	if _, err := dec.next(); err != io.EOF {
+		t.Fatalf("expected io.EOF after the last message, got %v", err)
+	}
+}
+
+func TestProtoLargePayload(t *testing.T) {
+	// Trace payloads can run to megabytes; the decoder must not impose a
+	// token-size ceiling.
+	big := json.RawMessage(`"` + strings.Repeat("x", 4<<20) + `"`)
+	var buf bytes.Buffer
+	if err := newEncoder(&buf).send(&Msg{T: MsgShard, Run: 1, Payload: big}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	m, err := newDecoder(&buf).next()
+	if err != nil {
+		t.Fatalf("next: %v", err)
+	}
+	if len(m.Payload) != len(big) {
+		t.Fatalf("payload length %d, want %d", len(m.Payload), len(big))
+	}
+}
+
+func TestProtoDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"truncated", `{"t":"beat"`, "truncated"},
+		{"malformed", "not json at all\n", "malformed"},
+		{"untyped", `{"chunk":1}` + "\n", "without a type"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := newDecoder(strings.NewReader(tc.in)).next()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// driveWorker runs Serve over in-memory pipes and returns the
+// coordinator-side encoder/decoder plus the Serve exit channel.
+func driveWorker(t *testing.T, runner Runner) (*encoder, *decoder, chan error) {
+	t.Helper()
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		err := Serve(inR, outW, runner)
+		outW.Close()
+		done <- err
+	}()
+	t.Cleanup(func() {
+		inW.Close()
+		outR.Close()
+	})
+	return newEncoder(inW), newDecoder(outR), done
+}
+
+func TestServeExecutesGrant(t *testing.T) {
+	runner := RunnerFunc(func(spec json.RawMessage, run int) ([]byte, error) {
+		if run == 6 {
+			return nil, fmt.Errorf("run %d refused", run)
+		}
+		if run == 7 {
+			panic("kaboom")
+		}
+		return []byte(fmt.Sprintf(`{"spec":%s,"run":%d}`, spec, run)), nil
+	})
+	enc, dec, done := driveWorker(t, runner)
+
+	if err := enc.send(&Msg{T: MsgHello, Proto: ProtoVersion, Spec: json.RawMessage(`"s"`)}); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	if m, err := dec.next(); err != nil || m.T != MsgReady {
+		t.Fatalf("expected ready, got %v / %v", m, err)
+	}
+	if err := enc.send(&Msg{T: MsgGrant, Chunk: 2, Start: 5, Count: 3}); err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+
+	var shards []*Msg
+	beats := 0
+	for {
+		m, err := dec.next()
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		if m.T == MsgChunkDone {
+			if m.Chunk != 2 {
+				t.Fatalf("chunk_done for %d, want 2", m.Chunk)
+			}
+			break
+		}
+		switch m.T {
+		case MsgBeat:
+			beats++
+		case MsgShard:
+			shards = append(shards, m)
+		}
+	}
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(shards))
+	}
+	if beats != 4 { // lease ack + one per run
+		t.Fatalf("got %d beats, want 4", beats)
+	}
+	if string(shards[0].Payload) != `{"spec":"s","run":5}` {
+		t.Fatalf("run 5 payload: %s", shards[0].Payload)
+	}
+	if shards[1].Err == "" || !strings.Contains(shards[1].Err, "refused") {
+		t.Fatalf("run 6 should be an error shard, got %+v", shards[1])
+	}
+	if shards[2].Err == "" || !strings.Contains(shards[2].Err, "panicked: kaboom") {
+		t.Fatalf("run 7 panic should be an error shard, got %+v", shards[2])
+	}
+
+	if err := enc.send(&Msg{T: MsgShutdown}); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+}
+
+func TestServeRejectsVersionMismatch(t *testing.T) {
+	enc, _, done := driveWorker(t, RunnerFunc(func(json.RawMessage, int) ([]byte, error) { return nil, nil }))
+	if err := enc.send(&Msg{T: MsgHello, Proto: ProtoVersion + 1}); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	err := <-done
+	if err == nil || !strings.Contains(err.Error(), "version mismatch") {
+		t.Fatalf("got %v, want version mismatch", err)
+	}
+}

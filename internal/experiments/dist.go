@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"rpivideo/internal/core"
+	"rpivideo/internal/dist"
+	"rpivideo/internal/obs"
+)
+
+// DistSpec is the campaign spec a distributed scenario campaign ships to
+// its workers: the scenario name plus the same overrides the serial
+// -scenario path applies. Both sides resolve the scenario from their own
+// binary, so the wire form stays tiny and core.Config (which carries
+// non-serializable hooks) never travels.
+type DistSpec struct {
+	// Scenario is the experiments scenario name (fleet scenarios are
+	// rejected: a fleet shares one cell map and cannot shard by run).
+	Scenario string `json:"scenario"`
+	// Seed overrides the scenario's pinned base seed when non-zero.
+	Seed int64 `json:"seed,omitempty"`
+	// RunTimeout, when positive, arms core.RunWithTimeout's per-run
+	// watchdog inside each worker.
+	RunTimeout time.Duration `json:"run_timeout,omitempty"`
+}
+
+// distShard is one run's wire payload: the three byte-stable exports the
+// serial scenario path derives from a Result. Shards are per run — never
+// pre-merged per chunk — so the coordinator's fold applies the identical
+// float-accumulation grouping a serial campaign would.
+type distShard struct {
+	// Registry is the run's obs registry export (Result.MetricsRegistry
+	// rendered by WriteJSON).
+	Registry json.RawMessage `json:"registry"`
+	// Summary is the run's single-run core.Summary in its wire form.
+	Summary json.RawMessage `json:"summary"`
+	// Trace is the run's JSONL trace (meta line + events), byte-exact.
+	Trace []byte `json:"trace,omitempty"`
+}
+
+// resolveDistConfig resolves a spec to the run configuration the serial
+// path would use: the scenario's config with tracing forced on and the
+// seed override applied.
+func resolveDistConfig(spec DistSpec) (core.Config, error) {
+	sc, err := ScenarioByName(spec.Scenario)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if sc.Fleet > 0 {
+		return core.Config{}, fmt.Errorf("scenario %s is a fleet scenario: fleets share one cell map and cannot shard by run", sc.Name)
+	}
+	cfg := sc.Config
+	cfg.Trace = true
+	if spec.Seed != 0 {
+		cfg.Seed = spec.Seed
+	}
+	return cfg, nil
+}
+
+// DistRunner executes scenario runs on the worker side of a distributed
+// campaign. Run index r maps to the same derived seed the serial campaign
+// engine uses — core.DeriveSeed(base, r) — so a shard is byte-identical to
+// what the serial path would have produced for that run.
+type DistRunner struct{}
+
+// Run implements dist.Runner.
+func (DistRunner) Run(rawSpec json.RawMessage, run int) ([]byte, error) {
+	var spec DistSpec
+	if err := json.Unmarshal(rawSpec, &spec); err != nil {
+		return nil, fmt.Errorf("dist spec: %w", err)
+	}
+	cfg, err := resolveDistConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	c := cfg
+	c.Seed = core.DeriveSeed(cfg.Seed, run)
+	res, err := core.RunWithTimeout(c, spec.RunTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s run %d: %w", spec.Scenario, run, err)
+	}
+
+	var sh distShard
+	var reg bytes.Buffer
+	if err := res.MetricsRegistry().WriteJSON(&reg); err != nil {
+		return nil, fmt.Errorf("run %d registry: %w", run, err)
+	}
+	sh.Registry = reg.Bytes()
+	if sh.Summary, err = json.Marshal(core.Summarize([]*core.Result{res})); err != nil {
+		return nil, fmt.Errorf("run %d summary: %w", run, err)
+	}
+	if res.Trace != nil {
+		var tr bytes.Buffer
+		if err := obs.WriteJSONL(&tr, core.TraceRunMeta(res, run), res.Trace.Events()); err != nil {
+			return nil, fmt.Errorf("run %d trace: %w", run, err)
+		}
+		sh.Trace = tr.Bytes()
+	}
+	return json.Marshal(&sh)
+}
+
+// DistCampaign is a distributed campaign's folded output: the same three
+// exports the serial scenario path produces, rebuilt from per-run shards
+// in run-index order.
+type DistCampaign struct {
+	// Registry is the campaign metrics registry; its WriteJSON output is
+	// byte-identical to core.WriteCampaignMetrics over a serial campaign.
+	Registry *obs.Registry
+	// Summary is the campaign summary, merged per run in index order.
+	Summary *core.Summary
+	// Trace is the concatenated JSONL trace, byte-identical to
+	// core.WriteCampaignTrace over a serial campaign.
+	Trace []byte
+	// RunErrs holds per-run errors (worker-reported failures and failed
+	// chunks), indexed by run; nil entries succeeded.
+	RunErrs []error
+}
+
+// FoldDistShards rebuilds the campaign outputs from a coordinator outcome.
+// Failed or errored runs are skipped in every export, exactly as the serial
+// path skips nil results; their errors stay in RunErrs. The summary's
+// Config is restored from the spec (it does not travel with shards).
+func FoldDistShards(spec DistSpec, out *dist.Outcome) (*DistCampaign, error) {
+	cfg, err := resolveDistConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	camp := &DistCampaign{
+		Registry: obs.NewRegistry(),
+		Summary:  &core.Summary{},
+		RunErrs:  out.RunErrs,
+	}
+	var trace bytes.Buffer
+	for run, raw := range out.Shards {
+		if raw == nil {
+			continue
+		}
+		var sh distShard
+		if err := json.Unmarshal(raw, &sh); err != nil {
+			return nil, fmt.Errorf("run %d shard: %w", run, err)
+		}
+		reg, err := obs.ReadRegistryJSON(bytes.NewReader(sh.Registry))
+		if err != nil {
+			return nil, fmt.Errorf("run %d registry: %w", run, err)
+		}
+		camp.Registry.Merge(reg)
+		var sum core.Summary
+		if err := json.Unmarshal(sh.Summary, &sum); err != nil {
+			return nil, fmt.Errorf("run %d summary: %w", run, err)
+		}
+		camp.Summary.Merge(&sum)
+		trace.Write(sh.Trace)
+	}
+	camp.Trace = trace.Bytes()
+	if camp.Summary.Runs > 0 {
+		// The wire form drops Config (it has no JSON shape); the first
+		// run's config under the campaign derivation is cfg with that
+		// run's derived seed, which is what Summarize would have kept.
+		cfg.Seed = core.DeriveSeed(cfg.Seed, firstRun(out))
+		camp.Summary.Config = cfg
+	}
+	return camp, nil
+}
+
+// firstRun returns the lowest run index with a committed shard.
+func firstRun(out *dist.Outcome) int {
+	for run, raw := range out.Shards {
+		if raw != nil {
+			return run
+		}
+	}
+	return 0
+}

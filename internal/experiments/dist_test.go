@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"rpivideo/internal/core"
+	"rpivideo/internal/dist"
+	"rpivideo/internal/obs"
+)
+
+// distWorkerEnv gates the TestMain re-exec that turns the test binary into
+// a real campaign worker subprocess.
+const distWorkerEnv = "RPIVIDEO_EXPERIMENTS_DIST_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(distWorkerEnv) == "1" {
+		if err := dist.Serve(os.Stdin, os.Stdout, DistRunner{}); err != nil {
+			fmt.Fprintln(os.Stderr, "dist worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// serialReference computes the serial campaign exports for a spec: metrics
+// and trace exactly as rpbench's serial -scenario path writes them, plus
+// the shard-grouped summary reference (single-run summaries merged in
+// run-index order — the float grouping the distributed fold uses).
+func serialReference(t *testing.T, spec DistSpec, runs int) (metrics, trace, summary []byte) {
+	t.Helper()
+	cfg, err := resolveDistConfig(spec)
+	if err != nil {
+		t.Fatalf("resolveDistConfig: %v", err)
+	}
+	results, errs := core.RunCampaignWithOptions(cfg, runs, core.CampaignOptions{})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("serial run %d: %v", i, err)
+		}
+	}
+	var m, tr bytes.Buffer
+	if err := core.WriteCampaignMetrics(&m, results); err != nil {
+		t.Fatalf("serial metrics: %v", err)
+	}
+	if err := core.WriteCampaignTrace(&tr, results); err != nil {
+		t.Fatalf("serial trace: %v", err)
+	}
+	ref := &core.Summary{}
+	for _, r := range results {
+		ref.Merge(core.Summarize([]*core.Result{r}))
+	}
+	sum, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatalf("serial summary: %v", err)
+	}
+	return m.Bytes(), tr.Bytes(), sum
+}
+
+// foldOutcome runs FoldDistShards and renders the three comparable exports.
+func foldOutcome(t *testing.T, spec DistSpec, out *dist.Outcome) (metrics, trace, summary []byte) {
+	t.Helper()
+	for run, err := range out.RunErrs {
+		if err != nil {
+			t.Fatalf("run %d failed: %v", run, err)
+		}
+	}
+	camp, err := FoldDistShards(spec, out)
+	if err != nil {
+		t.Fatalf("FoldDistShards: %v", err)
+	}
+	var m bytes.Buffer
+	if err := camp.Registry.WriteJSON(&m); err != nil {
+		t.Fatalf("fold metrics: %v", err)
+	}
+	sum, err := json.Marshal(camp.Summary)
+	if err != nil {
+		t.Fatalf("fold summary: %v", err)
+	}
+	return m.Bytes(), camp.Trace, sum
+}
+
+func requireSameBytes(t *testing.T, what string, got, want []byte) {
+	t.Helper()
+	if !bytes.Equal(got, want) {
+		limit := func(b []byte) string {
+			if len(b) > 400 {
+				return string(b[:400]) + "…"
+			}
+			return string(b)
+		}
+		t.Fatalf("%s diverged from the serial reference\n got (%d bytes): %s\nwant (%d bytes): %s",
+			what, len(got), limit(got), len(want), limit(want))
+	}
+}
+
+// TestDistMergeEquivalence proves the headline identity with in-process
+// workers: a sharded campaign's metrics, trace and summary are
+// byte-identical to the serial campaign's, at multiple topologies.
+func TestDistMergeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run scenario campaigns skipped in -short mode")
+	}
+	spec := DistSpec{Scenario: "urban-gcc", Seed: 99}
+	const runs = 5
+	rawSpec, _ := json.Marshal(spec)
+	wantMetrics, wantTrace, wantSummary := serialReference(t, spec, runs)
+
+	for _, tc := range []struct{ workers, chunk int }{{3, 1}, {2, 2}} {
+		t.Run(fmt.Sprintf("w%d_c%d", tc.workers, tc.chunk), func(t *testing.T) {
+			peers := make([]dist.Peer, tc.workers)
+			for i := range peers {
+				peers[i] = dist.StartPipe(fmt.Sprintf("w%d", i), DistRunner{})
+			}
+			out, err := dist.Run(rawSpec, dist.Config{Runs: runs, ChunkSize: tc.chunk}, peers)
+			if err != nil {
+				t.Fatalf("dist.Run: %v", err)
+			}
+			gotMetrics, gotTrace, gotSummary := foldOutcome(t, spec, out)
+			requireSameBytes(t, "metrics", gotMetrics, wantMetrics)
+			requireSameBytes(t, "trace", gotTrace, wantTrace)
+			requireSameBytes(t, "summary", gotSummary, wantSummary)
+		})
+	}
+}
+
+// TestDistChaosScenario is the end-to-end robustness proof on the real
+// simulation: subprocess workers run the urban-gcc scenario, one is
+// SIGKILLed mid-campaign, and the full report bundle must still come out
+// byte-identical to the serial reference — at two (workers, chunk-size)
+// topologies.
+func TestDistChaosScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos campaigns skipped in -short mode")
+	}
+	spec := DistSpec{Scenario: "urban-gcc", Seed: 7}
+	const runs = 6
+	rawSpec, _ := json.Marshal(spec)
+	wantMetrics, wantTrace, wantSummary := serialReference(t, spec, runs)
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+
+	for _, tc := range []struct{ workers, chunk int }{{4, 2}, {3, 1}} {
+		t.Run(fmt.Sprintf("w%d_c%d", tc.workers, tc.chunk), func(t *testing.T) {
+			peers, err := dist.StartProcs(tc.workers, func(i int) *exec.Cmd {
+				cmd := exec.Command(exe)
+				cmd.Env = append(os.Environ(), distWorkerEnv+"=1")
+				return cmd
+			})
+			if err != nil {
+				t.Fatalf("StartProcs: %v", err)
+			}
+			pids := make([]int, len(peers))
+			for i, p := range peers {
+				pids[i] = p.(*dist.ProcPeer).Pid()
+			}
+			t.Cleanup(func() {
+				for _, p := range peers {
+					p.Kill()
+					p.Close()
+				}
+			})
+
+			// SIGKILL the worker that just received the second first-attempt
+			// grant: it provably holds an uncommitted lease (the grant is
+			// microseconds old; a scenario run takes milliseconds), so the
+			// campaign cannot finish without the coordinator observing the
+			// death and re-issuing the chunk. Killing an idle worker instead
+			// would race campaign completion against EOF detection.
+			var once sync.Once
+			grants := 0
+			reg := obs.NewRegistry()
+			out, err := dist.Run(rawSpec, dist.Config{
+				Runs: runs, ChunkSize: tc.chunk,
+				Lease: 10 * time.Second, Backoff: 2 * time.Millisecond, BackoffMax: 10 * time.Millisecond,
+				Metrics: reg,
+				Events: func(e dist.Event) {
+					if e.Kind == dist.EvGrant && e.Attempt == 1 {
+						grants++
+						if grants == 2 {
+							once.Do(func() { syscall.Kill(pids[e.Worker], syscall.SIGKILL) })
+						}
+					}
+				},
+			}, peers)
+			if err != nil {
+				t.Fatalf("dist.Run: %v", err)
+			}
+			gotMetrics, gotTrace, gotSummary := foldOutcome(t, spec, out)
+			requireSameBytes(t, "metrics", gotMetrics, wantMetrics)
+			requireSameBytes(t, "trace", gotTrace, wantTrace)
+			requireSameBytes(t, "summary", gotSummary, wantSummary)
+			if lost := reg.Counter("dist_workers_lost"); lost != 1 {
+				t.Fatalf("dist_workers_lost = %d, want 1", lost)
+			}
+			if n := reg.Counter("dist_leases_reissued"); n < 1 {
+				t.Fatalf("dist_leases_reissued = %d, want >= 1 after the SIGKILL", n)
+			}
+		})
+	}
+}

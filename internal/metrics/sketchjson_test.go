@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// roundTrip marshals and unmarshals a sketch, failing the test on error.
+func roundTrip(t *testing.T, s *Sketch) *Sketch {
+	t.Helper()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Sketch
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return &out
+}
+
+func TestSketchJSONRoundTripExact(t *testing.T) {
+	s := sketchOf([]float64{3, 1, 2, -5, 0, 7.25})
+	got := roundTrip(t, s)
+	if got.N() != s.N() || got.Sum() != s.Sum() || got.Min() != s.Min() || got.Max() != s.Max() {
+		t.Fatalf("round trip lost scalars: got %v/%v/%v/%v", got.N(), got.Sum(), got.Min(), got.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if got.Quantile(q) != s.Quantile(q) {
+			t.Errorf("quantile %g: got %g, want %g", q, got.Quantile(q), s.Quantile(q))
+		}
+	}
+}
+
+func TestSketchJSONRoundTripSpilled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Sketch
+	for i := 0; i < 4*sketchExactCap; i++ {
+		s.Add(rng.NormFloat64() * 50)
+	}
+	if !s.spilled() {
+		t.Fatal("sketch should have spilled")
+	}
+	got := roundTrip(t, &s)
+	if !got.spilled() {
+		t.Fatal("round trip lost the spilled state")
+	}
+	if got.N() != s.N() || got.Sum() != s.Sum() || got.Min() != s.Min() || got.Max() != s.Max() {
+		t.Fatal("round trip lost scalars")
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		if got.Quantile(q) != s.Quantile(q) {
+			t.Errorf("quantile %g: got %g, want %g", q, got.Quantile(q), s.Quantile(q))
+		}
+	}
+	if got.zero != s.zero || len(got.pos) != len(s.pos) || len(got.neg) != len(s.neg) {
+		t.Errorf("bucket state differs: zero %d/%d pos %d/%d neg %d/%d",
+			got.zero, s.zero, len(got.pos), len(s.pos), len(got.neg), len(s.neg))
+	}
+}
+
+func TestSketchJSONRoundTripEmpty(t *testing.T) {
+	var s Sketch
+	got := roundTrip(t, &s)
+	if got.N() != 0 || got.spilled() {
+		t.Fatalf("empty round trip: n=%d spilled=%v", got.N(), got.spilled())
+	}
+}
+
+// The wire form must be canonical: independent of insertion order and of
+// whether rank queries (which sort the exact slice in place) ran before
+// marshaling. This is what makes distributed shard payloads byte-comparable.
+func TestSketchJSONCanonical(t *testing.T) {
+	a := sketchOf([]float64{5, 1, 4, 2, 3})
+	b := sketchOf([]float64{1, 2, 3, 4, 5})
+	b.Median() // force the in-place sort on one of them
+	ab, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Errorf("same multiset marshaled differently:\n%s\n%s", ab, bb)
+	}
+}
+
+// Merging a round-tripped sketch must behave exactly like merging the
+// original: the distributed campaign fold depends on it.
+func TestSketchJSONMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	runs := make([]*Sketch, 6)
+	for i := range runs {
+		var s Sketch
+		for j := 0; j < 40+60*i; j++ { // straddle the exact/spilled boundary
+			s.Add(rng.ExpFloat64() * 20)
+		}
+		runs[i] = &s
+	}
+	var direct, viaWire Sketch
+	for _, r := range runs {
+		direct.Merge(r)
+		viaWire.Merge(roundTrip(t, r))
+	}
+	db, err := json.Marshal(&direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := json.Marshal(&viaWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(db, wb) {
+		t.Errorf("merge after round trip diverged:\n%s\n%s", db, wb)
+	}
+}
+
+func TestSketchJSONRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`{"exact":[1,2],"n":5,"sum":3,"min":1,"max":2}`,                // n mismatch
+		`{"spilled":true,"pos":{"x":1},"n":1,"sum":1,"min":1,"max":1}`, // bad bucket key
+		`{"exact":"nope"}`, // wrong type
+	}
+	for _, c := range cases {
+		var s Sketch
+		if err := json.Unmarshal([]byte(c), &s); err == nil {
+			t.Errorf("corrupt payload %s unmarshaled without error", c)
+		}
+	}
+}
