@@ -22,8 +22,10 @@ func runWorker() error {
 // runDistScenario shards a scenario campaign across c.distWorkers rpbench
 // subprocesses (each re-exec'd with -worker) and writes the same exports as
 // the serial path, byte-identically. The campaign size is the scenario's own
-// Runs unless -runs was given explicitly.
-func runDistScenario(c *cliConfig, sc experiments.Scenario, exp scenarioExports) (drifted bool, err error) {
+// Runs unless -runs was given explicitly. sink, when non-nil, receives the
+// coordinator's live lease/straggler status and, after the fold, the merged
+// campaign registry.
+func runDistScenario(c *cliConfig, sc experiments.Scenario, sink obs.StatusSink, exp scenarioExports) (drifted bool, err error) {
 	seed := c.seed
 	if seed == 1 {
 		seed = 0 // default flag value: keep the scenario's pinned seed
@@ -55,6 +57,7 @@ func runDistScenario(c *cliConfig, sc experiments.Scenario, exp scenarioExports)
 		ChunkSize: c.distChunk,
 		Metrics:   reg,
 		Events:    logDistEvent,
+		Status:    sink,
 	}, peers)
 	if err != nil {
 		return false, err
@@ -67,6 +70,11 @@ func runDistScenario(c *cliConfig, sc experiments.Scenario, exp scenarioExports)
 		reg.Counter("dist_chunks_failed"))
 	if err := out.Err(); err != nil {
 		return false, err
+	}
+	if sink != nil {
+		// The coordinator's own fault-handling counters (leases, reissues,
+		// stragglers) join the live surface alongside the campaign fold.
+		sink.ObserveRun(reg)
 	}
 	failed := 0
 	for run, rerr := range out.RunErrs {
@@ -82,6 +90,11 @@ func runDistScenario(c *cliConfig, sc experiments.Scenario, exp scenarioExports)
 	camp, err := experiments.FoldDistShards(spec, out)
 	if err != nil {
 		return false, err
+	}
+	if sink != nil {
+		// Shard payloads are opaque to the coordinator, so per-run metrics
+		// arrive only now, as the folded campaign registry.
+		sink.ObserveRun(camp.Registry)
 	}
 	if exp.trace != "" {
 		if err := writeFileWith(exp.trace, func(f *os.File) error {

@@ -40,7 +40,12 @@ type cliConfig struct {
 	benchSeconds   float64
 	benchDur       time.Duration
 
-	pprof string
+	// Live ops server: -serve is the address, -pprof its legacy alias,
+	// servGrace how long the server outlives the workload so a scraper can
+	// read the terminal status.
+	serve      string
+	pprof      string
+	serveGrace time.Duration
 
 	// Distributed campaigns.
 	distWorkers int
@@ -78,7 +83,9 @@ func parseFlags(args []string) (*cliConfig, error) {
 	fs.Float64Var(&c.benchTolerance, "benchtolerance", 0.5, "relative slowdown tolerated by -benchcompare (0.5 = fail below half the baseline speed; generous because CI machines vary)")
 	fs.Float64Var(&c.benchSeconds, "benchseconds", 1.5, "minimum wall-clock seconds of untraced repetitions for the -scenario benchmark")
 	fs.DurationVar(&c.benchDur, "benchdur", 30*time.Second, "simulated duration of each benchmark repetition (0 = the scenario's own duration); the default stretches short scenarios to steady state so the metric reflects event-loop throughput, not setup amortization")
-	fs.StringVar(&c.pprof, "pprof", "", "serve net/http/pprof and /debug/runtime-metrics on this address while running")
+	fs.StringVar(&c.serve, "serve", "", "serve the live ops endpoints on this address while running: Prometheus /metrics, /status JSON, /events SSE, plus pprof and /debug/runtime-metrics (use 127.0.0.1:0 for an ephemeral port; the bound address is printed)")
+	fs.StringVar(&c.pprof, "pprof", "", "alias for -serve (the old name; the address now also carries /metrics, /status and /events)")
+	fs.DurationVar(&c.serveGrace, "servegrace", 0, "keep the -serve ops server up this long after the workload completes, so a scraper can collect the terminal /status and /metrics (0 = shut down immediately)")
 	fs.IntVar(&c.distWorkers, "dist", 0, "shard the scenario campaign across N local worker subprocesses with leased chunks and crash recovery (requires -scenario; campaign size is the scenario's runs unless -runs is given)")
 	fs.IntVar(&c.distChunk, "distchunk", 0, "runs per leased chunk for -dist (0 = auto: runs/(4·workers), at least 1)")
 	fs.DurationVar(&c.runTimeout, "runtimeout", 0, "per-run wall-clock watchdog inside -dist workers: a run exceeding this becomes that run's recorded error (0 = off)")
@@ -102,11 +109,14 @@ func parseFlags(args []string) (*cliConfig, error) {
 func (c *cliConfig) validate() error {
 	if c.worker {
 		// The worker owns stdin/stdout for the protocol; any other mode
-		// flag indicates a confused invocation, not a tolerable extra.
+		// flag indicates a confused invocation, not a tolerable extra. The
+		// ops server belongs on the coordinator — workers are spawned
+		// subprocesses whose addresses nobody knows.
 		switch {
 		case c.scenario != "", c.distWorkers != 0, c.analyze != "", c.list,
 			c.fleetSpec != "", c.trace != "", c.metrics != "", c.report != "",
-			c.compare != "", c.bench != "", c.benchCompare != "", c.fig != "all":
+			c.compare != "", c.bench != "", c.benchCompare != "", c.fig != "all",
+			c.serve != "", c.pprof != "":
 			return errors.New("-worker is the distributed-campaign subprocess entrypoint and takes no other mode flags")
 		}
 		return nil
@@ -116,6 +126,15 @@ func (c *cliConfig) validate() error {
 	}
 	if c.tolerance < 0 {
 		return errors.New("-tolerance must not be negative")
+	}
+	if c.serve != "" && c.pprof != "" && c.serve != c.pprof {
+		return errors.New("-serve and -pprof are the same server (the latter is the legacy alias); give one address, not two")
+	}
+	if c.serveGrace < 0 {
+		return errors.New("-servegrace must not be negative")
+	}
+	if c.serveGrace != 0 && c.opsAddr() == "" {
+		return errors.New("-servegrace requires -serve (there is no server to hold open)")
 	}
 
 	if c.analyze != "" {
@@ -186,4 +205,13 @@ func (c *cliConfig) validate() error {
 		return errors.New("-benchcompare requires -benchout")
 	}
 	return nil
+}
+
+// opsAddr resolves the ops-server listen address: -serve, falling back to
+// its legacy alias -pprof. Empty means no server.
+func (c *cliConfig) opsAddr() string {
+	if c.serve != "" {
+		return c.serve
+	}
+	return c.pprof
 }

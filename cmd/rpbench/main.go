@@ -17,11 +17,18 @@
 //	rpbench -scenario urban-gcc -fleet 500/pf      # 500 UAVs on one shared cell map
 //	rpbench -scenario urban-gcc -report out/       # analyzer report bundle
 //	rpbench -analyze out.jsonl -report out/        # same bundle from a trace file
-//	rpbench -pprof 127.0.0.1:6060 ...              # pprof + runtime metrics
+//
+// Live ops server (any mode):
+//
+//	rpbench -scenario urban-gcc -serve 127.0.0.1:0   # Prometheus /metrics, /status JSON,
+//	                                                 # /events SSE, pprof; bound addr printed
+//	rpbench -scenario urban-gcc -serve 127.0.0.1:0 -servegrace 30s  # hold for a final scrape
+//	rpbench -pprof 127.0.0.1:6060 ...                # legacy alias for -serve
 //
 // Trace, metrics and report exports are byte-identical at any -workers
 // setting, and a report built from a live run matches one replayed from its
-// JSONL trace byte for byte.
+// JSONL trace byte for byte. The -serve layer is purely observational:
+// every export is unchanged with or without it.
 //
 // Distributed campaigns:
 //
@@ -43,6 +50,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -120,14 +128,30 @@ func main() {
 		return
 	}
 
-	if c.pprof != "" {
-		srv, addr, err := obs.Serve(c.pprof)
+	// The live ops server (-serve, or its legacy alias -pprof): one address
+	// carrying pprof, runtime metrics, the Prometheus exposition, the status
+	// snapshot and the SSE stream. sink stays nil without a server so the
+	// engines skip all status work.
+	var sink obs.StatusSink
+	var tel *obs.Telemetry
+	if addr := c.opsAddr(); addr != "" {
+		tel = obs.NewTelemetry()
+		sink = tel
+		srv, err := obs.Serve(addr, tel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rpbench:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "rpbench: pprof on http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(os.Stderr, "rpbench: ops server on http://%s/ (/metrics /status /events /debug/pprof/)\n", srv.Addr())
+		defer func() {
+			if c.serveGrace > 0 {
+				fmt.Fprintf(os.Stderr, "rpbench: holding the ops server for %v (-servegrace)\n", c.serveGrace)
+				time.Sleep(c.serveGrace)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // the process is exiting either way
+		}()
 	}
 
 	if c.analyze != "" {
@@ -156,16 +180,26 @@ func main() {
 			trace: c.trace, metrics: c.metrics, report: c.report,
 			compare: c.compare, tolerance: c.tolerance,
 		}
+		so := experiments.ScenarioOptions{Seed: c.seed, Workers: c.workers, StatusSink: sink}
+		if c.runsSet {
+			so.Runs = c.runs
+		}
 		var drifted bool
 		switch {
 		case c.distWorkers > 0:
-			drifted, err = runDistScenario(c, sc, exports)
+			if tel != nil {
+				tel.SetLabels("dist", sc.Name)
+			}
+			drifted, err = runDistScenario(c, sc, sink, exports)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "rpbench:", err)
 				os.Exit(1)
 			}
 		case sc.Fleet > 0:
-			drifted, err = runFleetScenario(sc, c.seed, c.workers, exports)
+			if tel != nil {
+				tel.SetLabels("fleet", sc.Name)
+			}
+			drifted, err = runFleetScenario(sc, so, exports)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "rpbench:", err)
 				os.Exit(1)
@@ -177,7 +211,10 @@ func main() {
 				}
 			}
 		default:
-			drifted, err = runScenario(sc, c.seed, c.workers, exports)
+			if tel != nil {
+				tel.SetLabels("campaign", sc.Name)
+			}
+			drifted, err = runScenario(sc, so, exports)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "rpbench:", err)
 				os.Exit(1)
@@ -199,7 +236,10 @@ func main() {
 		return
 	}
 
-	o := experiments.Options{Runs: c.runs, Seed: c.seed, Workers: c.workers, FaultSpec: c.faults, BondPolicy: c.bondPolicy}
+	if tel != nil {
+		tel.SetLabels("experiments", c.fig)
+	}
+	o := experiments.Options{Runs: c.runs, Seed: c.seed, Workers: c.workers, FaultSpec: c.faults, BondPolicy: c.bondPolicy, StatusSink: sink}
 	core.ResetStats()
 	benchStart := time.Now()
 	failed := 0
@@ -246,14 +286,14 @@ type scenarioExports struct {
 }
 
 // runScenario executes one observability scenario and writes the requested
-// exports. seed == the default base seed (1) keeps the scenario's pinned
+// exports. Seed == the default base seed (1) keeps the scenario's pinned
 // seed, so golden traces regenerate exactly. drifted reports a -compare
 // gate failure (already printed); err covers everything else.
-func runScenario(sc experiments.Scenario, seed int64, workers int, exp scenarioExports) (drifted bool, err error) {
-	if seed == 1 {
-		seed = 0 // default flag value: keep the scenario's pinned seed
+func runScenario(sc experiments.Scenario, so experiments.ScenarioOptions, exp scenarioExports) (drifted bool, err error) {
+	if so.Seed == 1 {
+		so.Seed = 0 // default flag value: keep the scenario's pinned seed
 	}
-	results, err := experiments.RunScenario(sc, seed, workers)
+	results, err := experiments.RunScenarioWithOptions(sc, so)
 	if err != nil {
 		return false, err
 	}
@@ -308,14 +348,14 @@ func runScenario(sc experiments.Scenario, seed int64, workers int, exp scenarioE
 // the per-cell event timeline (attach/detach/overload JSONL) and -metrics /
 // -compare use the merged fleet registry. The analyzer bundle has no fleet
 // analog, so -report is rejected.
-func runFleetScenario(sc experiments.Scenario, seed int64, workers int, exp scenarioExports) (drifted bool, err error) {
+func runFleetScenario(sc experiments.Scenario, so experiments.ScenarioOptions, exp scenarioExports) (drifted bool, err error) {
 	if exp.report != "" {
 		return false, fmt.Errorf("-report is not supported for fleet runs (the analyzer consumes per-run traces)")
 	}
-	if seed == 1 {
-		seed = 0 // default flag value: keep the scenario's pinned seed
+	if so.Seed == 1 {
+		so.Seed = 0 // default flag value: keep the scenario's pinned seed
 	}
-	fr, err := experiments.RunFleetScenario(sc, seed, workers)
+	fr, err := experiments.RunFleetScenarioWithOptions(sc, so)
 	if err != nil {
 		return false, err
 	}

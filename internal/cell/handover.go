@@ -90,6 +90,10 @@ type Machine struct {
 	// Tracing (nil = disabled). Purely observational — see internal/obs.
 	trace    *obs.Tracer
 	traceDir obs.Dir
+
+	// hetHist, when non-nil, records each committed handover's execution
+	// time (interruption) in milliseconds.
+	hetHist *obs.LogHistogram
 }
 
 // NewMachine returns a handover machine attached to a signal model. air
@@ -105,6 +109,12 @@ func (m *Machine) SetTracer(tr *obs.Tracer, dir obs.Dir) {
 	m.trace = tr
 	m.traceDir = dir
 }
+
+// SetInterruptionHist attaches a histogram that records each committed
+// handover's execution time in milliseconds. Nil disables recording.
+// Handover failures that degrade into RLF never commit, so they are not
+// recorded here — they surface through the RLF counters instead.
+func (m *Machine) SetInterruptionHist(h *obs.LogHistogram) { m.hetHist = h }
 
 // Serving returns the current serving cell's *deployment index* (-1 before
 // the first measurement) — the position in the SignalModel's cell slice,
@@ -260,6 +270,9 @@ func (m *Machine) Step(now time.Duration, st flight.State) *Event {
 	if m.trace != nil {
 		m.trace.Emit(obs.Event{T: now, Kind: obs.KindHandover, Dir: m.traceDir,
 			Seq: int64(ev.From), Aux: int64(ev.To), V: float64(het) / float64(time.Millisecond)})
+	}
+	if m.hetHist != nil {
+		m.hetHist.Observe(float64(het) / float64(time.Millisecond))
 	}
 	return &m.events[len(m.events)-1]
 }

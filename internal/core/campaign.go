@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"rpivideo/internal/obs"
 )
 
 // CampaignOptions tunes how a campaign executes. The zero value gives the
@@ -35,6 +37,12 @@ type CampaignOptions struct {
 	// on its own; its result, if it ever materializes, is discarded.
 	// Zero disables the watchdog and runs jobs inline.
 	RunTimeout time.Duration
+	// StatusSink, when non-nil, receives live telemetry: a progress
+	// snapshot after every completed run plus each run's merged metrics +
+	// telemetry registry. It is called under the engine's progress lock
+	// (serialized, like Progress) and feeds the -serve ops endpoints; it
+	// has no effect on results.
+	StatusSink obs.StatusSink
 }
 
 // CampaignProgress is one campaign status sample, emitted as each run
@@ -135,23 +143,39 @@ func runJobs(runs int, opts CampaignOptions, job func(i int) *Result) ([]*Result
 	var (
 		mu        sync.Mutex
 		completed int
+		failed    int
 		simSecs   float64
 	)
 	finish := func(i int) {
 		mu.Lock()
 		defer mu.Unlock()
 		completed++
+		if errs[i] != nil {
+			failed++
+		}
 		if results[i] != nil {
 			simSecs += results[i].Duration.Seconds()
 		}
-		if opts.Progress == nil {
+		if opts.Progress == nil && opts.StatusSink == nil {
 			return
 		}
 		p := CampaignProgress{Completed: completed, Total: runs, RunIndex: i, Err: errs[i], Wall: time.Since(start)}
 		if w := p.Wall.Seconds(); w > 0 {
 			p.SimRate = simSecs / w
 		}
-		opts.Progress(p)
+		if opts.Progress != nil {
+			opts.Progress(p)
+		}
+		if opts.StatusSink != nil {
+			if res := results[i]; res != nil {
+				reg := res.MetricsRegistry()
+				if res.Telemetry != nil {
+					reg.Merge(res.Telemetry)
+				}
+				opts.StatusSink.ObserveRun(reg)
+			}
+			opts.StatusSink.PublishStatus(campaignSnapshot(p, failed))
+		}
 	}
 	runOne := func(i int) {
 		results[i], errs[i] = runGuarded(fmt.Sprintf("campaign run %d", i), opts.RunTimeout, func() *Result { return job(i) })
@@ -181,6 +205,26 @@ func runJobs(runs int, opts CampaignOptions, job func(i int) *Result) ([]*Result
 	close(idx)
 	wg.Wait()
 	return results, errs
+}
+
+// campaignSnapshot converts one progress sample into the live status shape.
+// The ETA extrapolates linearly from runs completed so far; it is a
+// heuristic for operators, not a promise. Mode is left empty for the sink
+// to stamp (the Telemetry hub's SetLabels): the engine can't tell a plain
+// campaign from one run on behalf of an experiment figure.
+func campaignSnapshot(p CampaignProgress, failed int) obs.StatusSnapshot {
+	s := obs.StatusSnapshot{
+		RunsDone:    p.Completed,
+		RunsTotal:   p.Total,
+		RunErrors:   failed,
+		WallSeconds: p.Wall.Seconds(),
+		SimRate:     p.SimRate,
+		Done:        p.Completed >= p.Total,
+	}
+	if p.Completed > 0 && p.Completed < p.Total {
+		s.ETASeconds = p.Wall.Seconds() / float64(p.Completed) * float64(p.Total-p.Completed)
+	}
+	return s
 }
 
 // runGuarded executes one job with panic recovery and, when timeout is

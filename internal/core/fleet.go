@@ -56,6 +56,11 @@ type FleetConfig struct {
 	// Progress, when non-nil, is invoked once per completed UAV run
 	// (phase 3), serialized by the engine.
 	Progress func(CampaignProgress)
+	// StatusSink, when non-nil, receives live telemetry: a per-cell
+	// snapshot after the phase-2 scheduling fold, then a progress snapshot
+	// (with the cell table attached) after every completed UAV run. Purely
+	// observational.
+	StatusSink obs.StatusSink
 }
 
 // FleetResult is the aggregate of one fleet run.
@@ -322,6 +327,15 @@ func RunFleet(fc FleetConfig) (*FleetResult, []error) {
 		metrics:        obs.NewRegistry(),
 	}
 
+	// The live status view of the shared cells is available as soon as the
+	// scheduling fold completes — before any UAV has finished its full run.
+	cellStatuses := cellStatusTable(ct.Cells)
+	if fc.StatusSink != nil {
+		fc.StatusSink.PublishStatus(obs.StatusSnapshot{
+			Mode: "fleet", RunsTotal: fc.Size, Cells: cellStatuses,
+		})
+	}
+
 	// Phase 3: full runs with the shares installed, folded in UAV-index
 	// order through the same pending-map the campaign engine uses.
 	var (
@@ -329,6 +343,7 @@ func RunFleet(fc FleetConfig) (*FleetResult, []error) {
 		pending   = make(map[int]*Result)
 		next      int
 		completed int
+		failed    int
 		simSecs   float64
 	)
 	start := time.Now()
@@ -350,15 +365,34 @@ func RunFleet(fc FleetConfig) (*FleetResult, []error) {
 			next++
 		}
 		completed++
+		if errs[u] != nil {
+			failed++
+		}
 		if res != nil {
 			simSecs += res.Duration.Seconds()
 		}
+		if fc.Progress == nil && fc.StatusSink == nil {
+			return
+		}
+		p := CampaignProgress{Completed: completed, Total: fc.Size, RunIndex: u, Err: errs[u], Wall: time.Since(start)}
+		if w := p.Wall.Seconds(); w > 0 {
+			p.SimRate = simSecs / w
+		}
 		if fc.Progress != nil {
-			p := CampaignProgress{Completed: completed, Total: fc.Size, RunIndex: u, Err: errs[u], Wall: time.Since(start)}
-			if w := p.Wall.Seconds(); w > 0 {
-				p.SimRate = simSecs / w
-			}
 			fc.Progress(p)
+		}
+		if fc.StatusSink != nil {
+			if res != nil {
+				reg := res.MetricsRegistry()
+				if res.Telemetry != nil {
+					reg.Merge(res.Telemetry)
+				}
+				fc.StatusSink.ObserveRun(reg)
+			}
+			s := campaignSnapshot(p, failed)
+			s.Mode = "fleet"
+			s.Cells = cellStatuses
+			fc.StatusSink.PublishStatus(s)
 		}
 	}
 	fleetFan(fc.Workers, fc.Size, errs, func(u int) {
@@ -380,6 +414,26 @@ func RunFleet(fc FleetConfig) (*FleetResult, []error) {
 
 	fr.finishMetrics()
 	return fr, errs
+}
+
+// cellStatusTable converts the scheduling fold's per-cell stats into the
+// live status shape. Built once per fleet run; the same slice is attached
+// to every snapshot (StatusSink takes ownership and must not mutate it,
+// which the Telemetry hub honors).
+func cellStatusTable(cells []cell.CellStats) []obs.CellStatus {
+	if len(cells) == 0 {
+		return nil
+	}
+	out := make([]obs.CellStatus, len(cells))
+	for i, cs := range cells {
+		out[i] = obs.CellStatus{
+			Cell:           cs.Cell,
+			Attaches:       cs.Attaches,
+			PeakUsers:      cs.PeakUsers,
+			OverloadEpochs: cs.OverloadEpochs,
+		}
+	}
+	return out
 }
 
 // finishMetrics layers the fleet-level keys over the merged per-UAV

@@ -52,6 +52,21 @@ func BucketFor(alt float64) AltBucket {
 	}
 }
 
+// Telemetry log-histogram names. These live in Result.Telemetry, not in
+// MetricsRegistry(), and surface on the live /metrics endpoint as
+// rpivideo_<name>_bucket series.
+const (
+	// TelemetryFrameDelay is each played frame's encode-to-play latency (ms).
+	TelemetryFrameDelay = "frame_delay_ms"
+	// TelemetryQueueDelay is each served uplink packet's queueing delay (ms).
+	TelemetryQueueDelay = "queue_delay_ms"
+	// TelemetryNackRTT is each retransmission heal's loss-to-repair time (ms).
+	TelemetryNackRTT = "nack_rtt_ms"
+	// TelemetryHandoverInterruption is each committed handover's execution
+	// time (ms).
+	TelemetryHandoverInterruption = "handover_interruption_ms"
+)
+
 // Result aggregates one run's measurements.
 type Result struct {
 	Config   Config
@@ -126,6 +141,15 @@ type Result struct {
 	// otherwise. Runs are single-goroutine, so the trace is complete and
 	// time-ordered when Run returns.
 	Trace *obs.Tracer
+
+	// Telemetry holds the run's live-ops log histograms (frame delay, queue
+	// delay, NACK RTT, handover interruption). It is kept separate from
+	// MetricsRegistry(): the campaign surface is pinned by checked-in
+	// baselines and the regression gate flags any new metric as drift, while
+	// this registry feeds only the live /metrics exposition. It never rides
+	// the dist wire (shards serialize MetricsRegistry only), so adding it
+	// cannot perturb distributed byte-identity.
+	Telemetry *obs.Registry
 
 	// Fault-injection metrics (video workloads with Config.Faults armed).
 	Outages           int             // realized outage episodes

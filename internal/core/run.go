@@ -44,6 +44,17 @@ func Run(cfg Config) *Result {
 	machine, hoCfg := setupRadio(cfg, s.Stream("cell"))
 
 	res := &Result{Config: cfg, Duration: dur}
+	// Live-telemetry histograms (internal/obs). These are deliberately a
+	// separate registry from MetricsRegistry(): the regression gate treats a
+	// metric present on only one side as drift, so folding new series into
+	// the campaign surface would invalidate every checked-in baseline. All
+	// four are created up front so a /metrics scrape always exposes the
+	// series, even before the first observation.
+	res.Telemetry = obs.NewRegistry()
+	res.Telemetry.LogHistogram(TelemetryFrameDelay)
+	res.Telemetry.LogHistogram(TelemetryNackRTT)
+	res.Telemetry.LogHistogram(TelemetryQueueDelay)
+	machine.SetInterruptionHist(res.Telemetry.LogHistogram(TelemetryHandoverInterruption))
 	if cfg.Trace {
 		res.Trace = obs.New(cfg.TraceCap)
 		machine.SetTracer(res.Trace, obs.DirUp)
@@ -58,6 +69,7 @@ func Run(cfg Config) *Result {
 	upProfile.AQM = cfg.AQM
 	uplink := link.New(s, upProfile, machine, stateAt, s.Stream("uplink"))
 	downlink := link.New(s, link.FeedbackProfile(), machine, stateAt, s.Stream("downlink"))
+	uplink.SetQueueDelayHist(res.Telemetry.LogHistogram(TelemetryQueueDelay))
 	if cfg.CapacityShare != nil {
 		// The fleet scheduler's share scales the media uplink only: the
 		// feedback downlink is tiny control traffic on an overprovisioned
@@ -217,6 +229,7 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 		pcfg.KeyframeRecovery = true
 	}
 	pl := video.NewPlayer(s, pcfg, video.DefaultSSIMModel(), snd.FrameEncoding)
+	pl.SetLatencyHist(res.Telemetry.LogHistogram(TelemetryFrameDelay))
 	if res.Trace != nil {
 		pl.SetTracer(res.Trace)
 	}
@@ -243,6 +256,7 @@ func runVideo(s *sim.Simulator, cfg Config, res *Result, machine *cell.Machine, 
 		det = repair.NewDetector(rcfg)
 		rtxCache = repair.NewCache(rcfg)
 		rtxBudget = repair.NewBudget(rcfg)
+		det.SetNackRTTHist(res.Telemetry.LogHistogram(TelemetryNackRTT))
 		if res.Trace != nil {
 			det.SetTracer(res.Trace)
 		}

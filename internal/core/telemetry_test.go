@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rpivideo/internal/cell"
+	"rpivideo/internal/obs"
+)
+
+func telemetryTestConfig() Config {
+	return Config{
+		Env:      cell.Urban,
+		Op:       cell.P1,
+		CC:       CCGCC,
+		Seed:     1,
+		Duration: time.Second,
+	}
+}
+
+// TestCampaignStatusSink: a campaign drives the sink to a terminal snapshot
+// with runs_done == runs_total, and every run's latency histograms reach the
+// merged registry.
+func TestCampaignStatusSink(t *testing.T) {
+	tel := obs.NewTelemetry()
+	tel.SetLabels("campaign", "test")
+	const runs = 3
+	_, errs := RunCampaignWithOptions(telemetryTestConfig(), runs, CampaignOptions{StatusSink: tel})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, ok := tel.Status()
+	if !ok {
+		t.Fatal("campaign published no status")
+	}
+	if st.RunsDone != runs || st.RunsTotal != runs || !st.Done {
+		t.Errorf("terminal snapshot %+v, want %d/%d done", st, runs, runs)
+	}
+	if st.Mode != "campaign" {
+		t.Errorf("mode %q, want campaign", st.Mode)
+	}
+	if st.RunErrors != 0 {
+		t.Errorf("run errors %d, want 0", st.RunErrors)
+	}
+	if st.WallSeconds <= 0 || st.SimRate <= 0 {
+		t.Errorf("timing fields not populated: wall=%g rate=%g", st.WallSeconds, st.SimRate)
+	}
+
+	reg := tel.SnapshotRegistry()
+	if got := reg.Counter("packets_sent"); got <= 0 {
+		t.Errorf("merged packets_sent counter = %d, want > 0", got)
+	}
+	for _, name := range []string{TelemetryFrameDelay, TelemetryQueueDelay} {
+		if reg.LogHistogram(name).Count() == 0 {
+			t.Errorf("log histogram %s is empty after %d runs", name, runs)
+		}
+	}
+	// A clean urban run has handovers but no repair traffic, so the NACK
+	// RTT histogram exists and stays empty — presence is the contract.
+	if reg.LogHistogram(TelemetryNackRTT) == nil {
+		t.Error("nack RTT histogram missing")
+	}
+}
+
+// TestFleetStatusSink: a fleet run publishes the per-cell contention table
+// on every snapshot and ends with uavs_done == fleet size.
+func TestFleetStatusSink(t *testing.T) {
+	tel := obs.NewTelemetry()
+	cfg := telemetryTestConfig()
+	cfg.CC = CCStatic
+	cfg.Air = true
+	const size = 3
+	_, errs := RunFleet(FleetConfig{Config: cfg, Size: size, StatusSink: tel})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, ok := tel.Status()
+	if !ok {
+		t.Fatal("fleet published no status")
+	}
+	if st.Mode != "fleet" {
+		t.Errorf("mode %q, want fleet", st.Mode)
+	}
+	if st.RunsDone != size || st.RunsTotal != size || !st.Done {
+		t.Errorf("terminal snapshot %+v, want %d/%d done", st, size, size)
+	}
+	if len(st.Cells) == 0 {
+		t.Fatal("fleet snapshot carries no cell table")
+	}
+	attaches := 0
+	for _, c := range st.Cells {
+		attaches += c.Attaches
+	}
+	if attaches < size {
+		t.Errorf("cell table shows %d attaches for a fleet of %d", attaches, size)
+	}
+	if reg := tel.SnapshotRegistry(); reg.LogHistogram(TelemetryFrameDelay).Count() == 0 {
+		t.Error("fleet runs recorded no frame delays")
+	}
+}
+
+// TestRunTelemetryHistograms: one run's Result carries the live-telemetry
+// registry with the wired delay histograms, separate from the byte-stable
+// MetricsRegistry surface.
+func TestRunTelemetryHistograms(t *testing.T) {
+	res := Run(telemetryTestConfig())
+	if res.Telemetry == nil {
+		t.Fatal("Result.Telemetry not populated")
+	}
+	fd := res.Telemetry.LogHistogram(TelemetryFrameDelay)
+	if fd.Count() == 0 {
+		t.Error("frame delay histogram empty")
+	}
+	if int(fd.Count()) != res.FramesPlayed {
+		t.Errorf("frame delay count %d != frames played %d", fd.Count(), res.FramesPlayed)
+	}
+	if res.Telemetry.LogHistogram(TelemetryQueueDelay).Count() == 0 {
+		t.Error("queue delay histogram empty")
+	}
+	// The live histograms must NOT leak into the baseline-compared
+	// registry: checked-in baselines predate them.
+	drifts := obs.CompareRegistries(obs.NewRegistry(), res.MetricsRegistry(), obs.Tolerance{})
+	for _, d := range drifts {
+		if strings.HasPrefix(d.Metric, "loghistogram") {
+			t.Errorf("telemetry histogram leaked into MetricsRegistry: %s", d)
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"rpivideo/internal/obs"
 )
 
 // chunkPhase is a chunk's position in the lease state machine.
@@ -91,6 +93,10 @@ type coord struct {
 	ch      chan envelope
 	stop    chan struct{}
 	now     func() time.Time
+	// start anchors the status snapshots' wall clock; runErrors counts
+	// worker-reported per-run error shards for the same surface.
+	start     time.Time
+	runErrors int
 }
 
 // ErrDivergence is wrapped into the hard error returned when duplicate
@@ -115,11 +121,12 @@ func Run(spec json.RawMessage, cfg Config, peers []Peer) (*Outcome, error) {
 	}
 
 	c := &coord{
-		cfg:  cfg,
-		spec: spec,
-		ch:   make(chan envelope),
-		stop: make(chan struct{}),
-		now:  time.Now,
+		cfg:   cfg,
+		spec:  spec,
+		ch:    make(chan envelope),
+		stop:  make(chan struct{}),
+		now:   time.Now,
+		start: time.Now(),
 	}
 	size := cfg.chunkSize(len(peers))
 	for start := 0; start < cfg.Runs; start += size {
@@ -148,6 +155,7 @@ func Run(spec json.RawMessage, cfg Config, peers []Peer) (*Outcome, error) {
 		return nil, errors.New("dist: every worker failed the handshake")
 	}
 
+	c.publishStatus(false)
 	for !c.finished() {
 		now := c.now()
 		c.expire(now)
@@ -162,11 +170,14 @@ func Run(spec json.RawMessage, cfg Config, peers []Peer) (*Outcome, error) {
 			timer.Stop()
 			if err := c.handle(env); err != nil {
 				c.killAll()
+				c.publishStatus(true)
 				return c.outcome(), err
 			}
 		case <-timer.C:
 		}
+		c.publishStatus(false)
 	}
+	c.publishStatus(true)
 	out := c.outcome()
 	return out, out.Err()
 }
@@ -482,6 +493,7 @@ func (c *coord) shard(wi int, m *Msg) {
 	ck.recs(wi)[m.Run] = rec
 	c.count("dist_shards_received", 1)
 	if m.Err != "" {
+		c.runErrors++
 		c.count("dist_run_errors", 1)
 		c.event(Event{Kind: EvRunError, Worker: wi, Chunk: ck.id, Run: m.Run, Err: m.Err})
 	}
@@ -548,6 +560,69 @@ func (c *coord) chunkDone(wi, chunkID int) error {
 	c.count("dist_chunks_completed", 1)
 	c.event(Event{Kind: EvChunkDone, Worker: wi, Chunk: chunkID, Start: ck.start, Count: ck.count, Attempt: ck.attempts, Run: -1})
 	return nil
+}
+
+// publishStatus emits the coordinator's live view to the status sink:
+// runs done (committed chunks plus the current leases' streamed shards),
+// per-worker lease phase, and the held chunk's attempt count. Progress can
+// regress transiently when a lease is forfeited — the re-issued chunk's
+// shards start over — which is the honest view of fault-tolerant work.
+func (c *coord) publishStatus(done bool) {
+	if c.cfg.Status == nil {
+		return
+	}
+	s := obs.StatusSnapshot{
+		Mode:        "dist",
+		RunsTotal:   c.cfg.Runs,
+		RunErrors:   c.runErrors,
+		WallSeconds: c.now().Sub(c.start).Seconds(),
+		Done:        done,
+	}
+	for _, ck := range c.chunks {
+		switch ck.phase {
+		case chunkDone:
+			s.RunsDone += ck.count
+		case chunkLeased:
+			s.RunsDone += ck.progress
+		}
+	}
+	if s.RunsDone > 0 && s.RunsDone < s.RunsTotal {
+		s.ETASeconds = s.WallSeconds / float64(s.RunsDone) * float64(s.RunsTotal-s.RunsDone)
+	}
+	s.Workers = make([]obs.WorkerStatus, len(c.workers))
+	for i, w := range c.workers {
+		ws := obs.WorkerStatus{Worker: i, State: w.phase.String(), Chunk: w.chunk}
+		if w.chunk >= 0 {
+			ck := c.chunks[w.chunk]
+			ws.Attempt = ck.attempts
+			if w.phase == wRevoked {
+				ws.Progress = w.progress
+			} else {
+				ws.Progress = ck.progress
+			}
+		}
+		s.Workers[i] = ws
+	}
+	c.cfg.Status.PublishStatus(s)
+}
+
+// String names the worker phase for the status surface ("straggler" for
+// revoked: the operator-facing word for a worker running past its lease).
+func (p workerPhase) String() string {
+	switch p {
+	case wStarting:
+		return "starting"
+	case wIdle:
+		return "idle"
+	case wBusy:
+		return "busy"
+	case wRevoked:
+		return "straggler"
+	case wDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
 }
 
 // outcome folds the committed shard sets into run-index order.

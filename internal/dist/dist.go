@@ -108,6 +108,12 @@ type Config struct {
 	// Events, when non-nil, observes the coordinator state machine. Called
 	// synchronously from the coordinator loop; do not block.
 	Events func(Event)
+	// Status, when non-nil, receives live progress snapshots: runs done
+	// (committed chunks plus live-lease progress), per-worker lease state,
+	// and retry/straggler detail. SimRate stays zero — shard payloads are
+	// opaque bytes, so the coordinator cannot know simulated time. Called
+	// synchronously from the coordinator loop; do not block.
+	Status obs.StatusSink
 }
 
 // withDefaults resolves zero fields.

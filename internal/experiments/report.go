@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"rpivideo/internal/core"
+	"rpivideo/internal/obs"
 )
 
 // Options controls experiment scale.
@@ -35,6 +36,12 @@ type Options struct {
 	// BondPolicy restricts the bond experiment to one scheduler policy
 	// (duplicate, failover, cheapest or spray). Empty compares all four.
 	BondPolicy string
+	// StatusSink, when non-nil, receives live campaign progress and per-run
+	// metrics for the -serve ops endpoints. Like Workers it is excluded
+	// from the memoization key: it observes execution without affecting
+	// results (a memoized campaign re-publishes nothing — the runs already
+	// happened).
+	StatusSink obs.StatusSink
 }
 
 func (o *Options) defaults() {
@@ -161,7 +168,7 @@ func campaignKey(cfg core.Config, o Options) string {
 // engine changes. Campaigns run through the public API default to the
 // collision-resistant derivation.
 func experimentOptions(o Options) core.CampaignOptions {
-	return core.CampaignOptions{Workers: o.Workers, LegacySeeds: true}
+	return core.CampaignOptions{Workers: o.Workers, LegacySeeds: true, StatusSink: o.StatusSink}
 }
 
 // seededCampaign returns the memoized per-run results for a configuration.

@@ -8,6 +8,7 @@ import (
 	"rpivideo/internal/cell"
 	"rpivideo/internal/core"
 	"rpivideo/internal/fault"
+	"rpivideo/internal/obs"
 	"rpivideo/internal/repair"
 )
 
@@ -137,20 +138,47 @@ func ScenarioByName(name string) (Scenario, error) {
 	return Scenario{}, fmt.Errorf("unknown scenario %q", name)
 }
 
+// ScenarioOptions tunes scenario execution beyond the scenario's own
+// definition. The zero value reproduces the plain RunScenario behavior.
+type ScenarioOptions struct {
+	// Seed overrides the scenario's base seed when non-zero.
+	Seed int64
+	// Workers is the campaign worker count (0 = one per CPU). Results are
+	// identical at any setting.
+	Workers int
+	// Runs overrides the scenario's campaign size when positive — the
+	// rpbench -runs flag, mirroring the distributed mode's behavior. The
+	// golden-trace and baseline tooling leaves this zero so checked-in
+	// artifacts keep their pinned sizes.
+	Runs int
+	// StatusSink, when non-nil, receives live progress and per-run metrics
+	// (the -serve ops endpoints). Purely observational.
+	StatusSink obs.StatusSink
+}
+
 // RunScenario executes the scenario's campaign with tracing enabled and
 // returns the per-run results in run-index order. seed overrides the
 // scenario's base seed when non-zero; workers is the campaign worker count
 // (0 = one per CPU). Results are identical at any worker count.
 func RunScenario(sc Scenario, seed int64, workers int) ([]*core.Result, error) {
+	return RunScenarioWithOptions(sc, ScenarioOptions{Seed: seed, Workers: workers})
+}
+
+// RunScenarioWithOptions is RunScenario with the full option set.
+func RunScenarioWithOptions(sc Scenario, o ScenarioOptions) ([]*core.Result, error) {
 	if sc.Fleet > 0 {
 		return nil, fmt.Errorf("scenario %s is a fleet scenario: use RunFleetScenario", sc.Name)
 	}
 	cfg := sc.Config
 	cfg.Trace = true
-	if seed != 0 {
-		cfg.Seed = seed
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
 	}
-	results, errs := core.RunCampaignWithOptions(cfg, sc.Runs, core.CampaignOptions{Workers: workers})
+	runs := sc.Runs
+	if o.Runs > 0 {
+		runs = o.Runs
+	}
+	results, errs := core.RunCampaignWithOptions(cfg, runs, core.CampaignOptions{Workers: o.Workers, StatusSink: o.StatusSink})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s run %d: %w", sc.Name, i, err)
@@ -166,19 +194,27 @@ func RunScenario(sc Scenario, seed int64, workers int) ([]*core.Result, error) {
 // per-UAV phases (0 = one per CPU). The result is byte-identical at any
 // worker count.
 func RunFleetScenario(sc Scenario, seed int64, workers int) (*core.FleetResult, error) {
+	return RunFleetScenarioWithOptions(sc, ScenarioOptions{Seed: seed, Workers: workers})
+}
+
+// RunFleetScenarioWithOptions is RunFleetScenario with the full option set.
+// ScenarioOptions.Runs is ignored: a fleet's size is the scenario's, not a
+// campaign length.
+func RunFleetScenarioWithOptions(sc Scenario, o ScenarioOptions) (*core.FleetResult, error) {
 	if sc.Fleet <= 0 {
 		return nil, fmt.Errorf("scenario %s is not a fleet scenario", sc.Name)
 	}
 	cfg := sc.Config
-	if seed != 0 {
-		cfg.Seed = seed
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
 	}
 	fr, errs := core.RunFleet(core.FleetConfig{
-		Config:  cfg,
-		Size:    sc.Fleet,
-		Sched:   sc.Sched,
-		Workers: workers,
-		Events:  true,
+		Config:     cfg,
+		Size:       sc.Fleet,
+		Sched:      sc.Sched,
+		Workers:    o.Workers,
+		Events:     true,
+		StatusSink: o.StatusSink,
 	})
 	for u, err := range errs {
 		if err != nil {

@@ -202,6 +202,12 @@ type Link struct {
 	nextID      int64
 	inOutage    bool
 	outageStart time.Duration
+
+	// queueHist, when non-nil, records each served packet's queueing delay
+	// (enqueue to end of serialization) in milliseconds. Like tracing it is
+	// strictly observational: one nil-check branch on the service path and
+	// no allocation.
+	queueHist *obs.LogHistogram
 }
 
 type queued struct {
@@ -301,6 +307,10 @@ func (l *Link) SetTracer(tr *obs.Tracer, dir obs.Dir) {
 	l.trace = tr
 	l.traceDir = dir
 }
+
+// SetQueueDelayHist attaches a histogram that records each served packet's
+// queueing delay in milliseconds. Nil disables recording.
+func (l *Link) SetQueueDelayHist(h *obs.LogHistogram) { l.queueHist = h }
 
 // Capacity returns the link capacity in bits/s as of the most recently
 // advanced point of the fluctuation process (before handover degradation).
@@ -685,7 +695,11 @@ func (l *Link) serveNext() {
 // served runs when the head-of-line packet finishes serialization: it moves
 // the packet to the propagation stage and serves the next one.
 func (l *Link) served() {
-	l.deliver(l.dequeueHead())
+	pkt := l.dequeueHead()
+	if l.queueHist != nil {
+		l.queueHist.Observe(float64(l.sim.Now()-pkt.sentAt) / float64(time.Millisecond))
+	}
+	l.deliver(pkt)
 	l.serveNext()
 }
 

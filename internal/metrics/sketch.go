@@ -39,6 +39,16 @@ func sketchIndex(v float64) int32 {
 	return int32(math.Ceil(math.Log(v) / sketchLnGamma))
 }
 
+// BucketIndex exposes the package bucketing scheme: the log-bucket index of
+// a positive value, where bucket i covers (gamma^(i-1), gamma^i] with
+// gamma = (1+SketchAlpha)/(1-SketchAlpha). Consumers that want to share the
+// Sketch layout (the obs LogHistogram) call this instead of re-deriving it.
+func BucketIndex(v float64) int32 { return sketchIndex(v) }
+
+// BucketUpper returns bucket idx's upper edge gamma^idx — the inverse of
+// BucketIndex up to the bucket's width.
+func BucketUpper(idx int32) float64 { return math.Pow(sketchGamma, float64(idx)) }
+
 // sketchRep returns the representative value of a positive bucket.
 func sketchRep(idx int32) float64 {
 	return math.Pow(sketchGamma, float64(idx)) * sketchRepFactor

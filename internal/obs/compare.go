@@ -33,6 +33,11 @@ func ReadRegistryJSON(r io.Reader) (*Registry, error) {
 		}
 		reg.hists[name] = h
 	}
+	for name, h := range in.LogHistograms {
+		if h != nil {
+			reg.logs[name] = h
+		}
+	}
 	return reg, nil
 }
 
@@ -129,6 +134,20 @@ func CompareRegistries(base, cur *Registry, tol Tolerance) []Drift {
 		num("histogram/"+name+"/count", float64(bh.Count), float64(ch.Count), true, true)
 		num("histogram/"+name+"/sum", bh.Sum, ch.Sum, true, true)
 		num("histogram/"+name+"/overflow", float64(bh.Overflow), float64(ch.Overflow), true, true)
+	}
+	for _, name := range unionKeys(keysOf(base.logs), keysOf(cur.logs)) {
+		bh, bOK := base.logs[name]
+		ch, cOK := cur.logs[name]
+		if !bOK || !cOK {
+			side := "cur"
+			if !bOK {
+				side = "base"
+			}
+			out = append(out, Drift{Metric: "loghistogram/" + name, Missing: side})
+			continue
+		}
+		num("loghistogram/"+name+"/count", float64(bh.Count()), float64(ch.Count()), true, true)
+		num("loghistogram/"+name+"/sum", bh.Sum(), ch.Sum(), true, true)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Metric < out[j].Metric })
 	return out

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"rpivideo/internal/metrics"
+)
+
+// The log-histogram layout is a package-wide constant shared by every
+// LogHistogram, reusing the metrics.Sketch bucketing scheme (bucket i
+// covers (gamma^(i-1), gamma^i] with gamma derived from
+// metrics.SketchAlpha). A fixed index window keeps Observe allocation-free:
+// the dense count array is sized once at creation and indices outside the
+// window clamp to its edges. [-500, 700] spans roughly 4.5e-5 .. 1.1e6 in
+// the recorded unit (milliseconds for every wired delay), far beyond any
+// delay the simulation can produce, so clamping is a formality.
+const (
+	logHistMinIdx = -500
+	logHistMaxIdx = 700
+	logHistCells  = logHistMaxIdx - logHistMinIdx + 1
+)
+
+// LogHistogram is a log-bucketed histogram for hot-path latency recording:
+// Observe is O(1), allocation-free, and costs one math.Log plus an array
+// increment. Unlike the fixed-bucket Histogram (whose layouts are named,
+// coarse, and part of the byte-stable campaign exports), a LogHistogram
+// has ~1% relative bucket resolution everywhere and is meant for the live
+// telemetry surface (/metrics). It is not safe for concurrent use; each
+// run records into its own and the telemetry hub merges under its lock.
+type LogHistogram struct {
+	// counts is the dense bucket array, cell j counting index
+	// logHistMinIdx+j. Values at or below zero (a delay cannot be
+	// negative; zero has no log bucket) land in the zero cell.
+	counts []int64
+	zero   int64
+	count  int64
+	sum    float64
+	// lo and hi bound the occupied cells (inclusive, as indices into
+	// counts); lo > hi means none are occupied. They make export and
+	// merge O(occupied span) instead of O(logHistCells).
+	lo, hi int
+}
+
+// NewLogHistogram returns an empty log histogram.
+func NewLogHistogram() *LogHistogram {
+	return &LogHistogram{counts: make([]int64, logHistCells), lo: logHistCells, hi: -1}
+}
+
+// Observe records one sample. Non-positive and NaN samples count into the
+// zero cell and only finite positive samples contribute to Sum, mirroring
+// Histogram's poisoning rules.
+func (h *LogHistogram) Observe(v float64) {
+	h.count++
+	if !(v > 0) { // catches v <= 0 and NaN
+		h.zero++
+		return
+	}
+	if math.IsInf(v, 1) {
+		h.bump(logHistCells - 1)
+		return
+	}
+	h.sum += v
+	idx := metrics.BucketIndex(v)
+	switch {
+	case idx < logHistMinIdx:
+		idx = logHistMinIdx
+	case idx > logHistMaxIdx:
+		idx = logHistMaxIdx
+	}
+	h.bump(int(idx) - logHistMinIdx)
+}
+
+// bump increments one cell, maintaining the occupied span.
+func (h *LogHistogram) bump(cell int) {
+	h.counts[cell]++
+	if cell < h.lo {
+		h.lo = cell
+	}
+	if cell > h.hi {
+		h.hi = cell
+	}
+}
+
+// Count returns the number of observations.
+func (h *LogHistogram) Count() int64 { return h.count }
+
+// Sum returns the sum of the finite positive observations.
+func (h *LogHistogram) Sum() float64 { return h.sum }
+
+// Merge folds o into h cell-by-cell. Every LogHistogram shares the package
+// layout, so no negotiation is needed.
+func (h *LogHistogram) Merge(o *LogHistogram) {
+	h.count += o.count
+	h.sum += o.sum
+	h.zero += o.zero
+	for cell := o.lo; cell <= o.hi; cell++ {
+		if c := o.counts[cell]; c > 0 {
+			h.counts[cell] += c
+			if cell < h.lo {
+				h.lo = cell
+			}
+			if cell > h.hi {
+				h.hi = cell
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (h *LogHistogram) Clone() *LogHistogram {
+	c := NewLogHistogram()
+	c.Merge(h)
+	return c
+}
+
+// each walks the occupied buckets in ascending value order, passing each
+// bucket's sketch index, upper edge, and count.
+func (h *LogHistogram) each(fn func(idx int32, upper float64, count int64)) {
+	for cell := h.lo; cell <= h.hi; cell++ {
+		if c := h.counts[cell]; c > 0 {
+			idx := int32(cell) + logHistMinIdx
+			fn(idx, metrics.BucketUpper(idx), c)
+		}
+	}
+}
+
+// logHistJSON is the sparse wire shape: occupied buckets keyed by sketch
+// index. encoding/json writes map keys sorted (lexicographically — fine for
+// byte stability, which is all the export needs).
+type logHistJSON struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Zero    int64            `json:"zero,omitempty"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON renders the sparse form; a pure function of the recorded
+// multiset, so two equal histograms marshal to identical bytes.
+func (h *LogHistogram) MarshalJSON() ([]byte, error) {
+	out := logHistJSON{Count: h.count, Sum: h.sum, Zero: h.zero}
+	if h.lo <= h.hi {
+		out.Buckets = make(map[string]int64)
+		h.each(func(idx int32, _ float64, c int64) {
+			out.Buckets[strconv.FormatInt(int64(idx), 10)] = c
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON reconstructs a histogram marshaled by MarshalJSON,
+// overwriting the receiver.
+func (h *LogHistogram) UnmarshalJSON(data []byte) error {
+	var in logHistJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*h = *NewLogHistogram()
+	h.count = in.Count
+	h.sum = in.Sum
+	h.zero = in.Zero
+	for k, c := range in.Buckets {
+		idx, err := strconv.ParseInt(k, 10, 32)
+		if err != nil {
+			return fmt.Errorf("obs: log histogram bucket key %q: %w", k, err)
+		}
+		if idx < logHistMinIdx || idx > logHistMaxIdx {
+			return fmt.Errorf("obs: log histogram bucket index %d outside [%d, %d]", idx, logHistMinIdx, logHistMaxIdx)
+		}
+		h.counts[int(idx)-logHistMinIdx] = c
+		if cell := int(idx) - logHistMinIdx; cell < h.lo {
+			h.lo = cell
+		}
+		if cell := int(idx) - logHistMinIdx; cell > h.hi {
+			h.hi = cell
+		}
+	}
+	return nil
+}

@@ -89,6 +89,7 @@ type Registry struct {
 	counters map[string]int64
 	gauges   map[string]float64
 	hists    map[string]*Histogram
+	logs     map[string]*LogHistogram
 }
 
 // NewRegistry returns an empty registry.
@@ -97,6 +98,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]int64),
 		gauges:   make(map[string]float64),
 		hists:    make(map[string]*Histogram),
+		logs:     make(map[string]*LogHistogram),
 	}
 }
 
@@ -133,6 +135,18 @@ func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
 	return h
 }
 
+// LogHistogram returns (creating if needed) the named log-bucketed
+// histogram. All log histograms share the package layout (see loghist.go),
+// so no bucket negotiation is needed.
+func (r *Registry) LogHistogram(name string) *LogHistogram {
+	if h, ok := r.logs[name]; ok {
+		return h
+	}
+	h := NewLogHistogram()
+	r.logs[name] = h
+	return h
+}
+
 // Merge folds o into r: counters sum, gauges take the maximum, histograms
 // sum bucket-by-bucket. It panics on a histogram bucket-layout mismatch.
 // Integer fields merge associatively; histogram Sum is a float, so
@@ -162,6 +176,17 @@ func (r *Registry) Merge(o *Registry) {
 		}
 		h.merge(name, oh)
 	}
+	for name, oh := range o.logs {
+		r.LogHistogram(name).Merge(oh)
+	}
+}
+
+// Clone returns a deep copy of the registry — the snapshot the telemetry
+// hub hands to scrape handlers so exports never race live recording.
+func (r *Registry) Clone() *Registry {
+	out := NewRegistry()
+	out.Merge(r)
+	return out
 }
 
 // registryJSON is the export shape. encoding/json writes map keys in
@@ -171,14 +196,23 @@ type registryJSON struct {
 	Counters   map[string]int64      `json:"counters"`
 	Gauges     map[string]float64    `json:"gauges"`
 	Histograms map[string]*Histogram `json:"histograms"`
+	// LogHistograms is omitted when empty so registries predating the
+	// live-telemetry layer (every checked-in baseline) keep their exact
+	// bytes.
+	LogHistograms map[string]*LogHistogram `json:"loghistograms,omitempty"`
 }
 
 // WriteJSON renders the registry as indented JSON with sorted keys.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	logs := r.logs
+	if len(logs) == 0 {
+		logs = nil // omitempty needs nil-or-empty; be explicit for old maps
+	}
 	out, err := json.MarshalIndent(registryJSON{
-		Counters:   r.counters,
-		Gauges:     r.gauges,
-		Histograms: r.hists,
+		Counters:      r.counters,
+		Gauges:        r.gauges,
+		Histograms:    r.hists,
+		LogHistograms: logs,
 	}, "", "  ")
 	if err != nil {
 		return err

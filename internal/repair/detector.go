@@ -44,6 +44,10 @@ type Detector struct {
 
 	trace *obs.Tracer
 
+	// rttHist, when non-nil, records each retransmission heal's realized
+	// loss-to-repair time in milliseconds (see SetNackRTTHist).
+	rttHist *obs.LogHistogram
+
 	// Repaired counts losses healed by a retransmission, Late those healed
 	// by the original arriving after its gap was noticed, and Abandoned
 	// those given up on (retry cap or pending bound) — the PLI path's
@@ -64,6 +68,12 @@ func NewDetector(cfg Config) *Detector {
 
 // SetTracer attaches an event tracer (nil disables tracing).
 func (d *Detector) SetTracer(tr *obs.Tracer) { d.trace = tr }
+
+// SetNackRTTHist attaches a histogram that records each retransmission
+// heal's loss-to-repair time in milliseconds (the realized NACK RTT). Nil
+// disables recording. Late original arrivals are not recorded — they say
+// nothing about the repair path.
+func (d *Detector) SetNackRTTHist(h *obs.LogHistogram) { d.rttHist = h }
 
 // RTT returns the smoothed NACK→repair round-trip estimate.
 func (d *Detector) RTT() time.Duration { return d.srtt }
@@ -218,6 +228,9 @@ func (d *Detector) heal(e *pendingLoss, at time.Duration, rtx bool) {
 	if rtx {
 		aux = 1
 		d.Repaired++
+		if d.rttHist != nil {
+			d.rttHist.Observe(float64(at-e.missedAt) / float64(time.Millisecond))
+		}
 	} else {
 		d.Late++
 	}
